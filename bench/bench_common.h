@@ -1,0 +1,63 @@
+// Shared sweep scaffolding for the figure benches.
+//
+// Default parameters are scaled to finish quickly on a small machine while
+// preserving the *shapes* the paper reports; pass --full (or set
+// CBAT_BENCH_FULL=1) for paper-scale runs.  Every binary prints one table
+// per paper plot, with the same series and x axis.
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench/args.h"
+#include "bench/driver.h"
+#include "bench/table.h"
+
+namespace cbat::bench {
+
+inline std::vector<long> default_thread_sweep(const Args& args) {
+  if (args.full_scale()) {
+    return args.get_list("--threads", {1, 12, 24, 48, 96, 144, 192});
+  }
+  return args.get_list("--threads", {1, 2, 4, 8});
+}
+
+inline int default_ms(const Args& args, int ci_default = 120) {
+  if (args.full_scale()) return static_cast<int>(args.get_long("--ms", 3000));
+  return static_cast<int>(args.get_long("--ms", ci_default));
+}
+
+inline long default_fixed_threads(const Args& args) {
+  // Figures 6, 7, 9 and 10 fix TT=120 in the paper.
+  if (args.full_scale()) return args.get_long("--tt", 120);
+  return args.get_long("--tt", 4);
+}
+
+// Runs structure x xvalue sweeps and fills a table with throughput cells.
+inline void sweep_throughput(
+    Table& table, const std::vector<std::string>& structures,
+    const std::vector<long>& xs,
+    const std::function<RunConfig(long)>& config_for,
+    bool csv) {
+  std::vector<std::string> cols;
+  cols.reserve(xs.size());
+  for (long x : xs) cols.push_back(std::to_string(x));
+  table.set_columns(cols);
+  for (const auto& s : structures) {
+    for (long x : xs) {
+      const RunResult r = run_benchmark(s, config_for(x));
+      table.add_cell(s, fmt_throughput(r.throughput()));
+      std::fprintf(stderr, "  [%s x=%ld] %.3f Mop/s\n", s.c_str(), x,
+                   r.mops());
+    }
+  }
+  if (csv) {
+    table.print_csv();
+  } else {
+    table.print();
+  }
+}
+
+}  // namespace cbat::bench

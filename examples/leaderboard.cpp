@@ -1,0 +1,77 @@
+// Leaderboard: concurrent order-statistic queries under a write-heavy load.
+//
+// The motivating workload from the paper's introduction: a score set that
+// many threads update while others ask "what percentile is score X?"
+// (rank) and "what score is rank R?" (select).  With an unaugmented
+// concurrent set those queries would scan half the structure; BAT answers
+// them in O(log n) from an atomic snapshot.
+//
+// Build & run:  ./build/examples/leaderboard
+#include <atomic>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "core/bat_tree.h"
+#include "util/random.h"
+
+using cbat::Key;
+
+int main() {
+  cbat::BatEagerDel<cbat::SizeAug> scores;
+  constexpr Key kMaxScore = 1000000;
+  constexpr int kWriters = 3;
+
+  // Seed the board.
+  {
+    cbat::Xoshiro256 rng(1);
+    for (int i = 0; i < 50000; ++i) {
+      scores.insert(static_cast<Key>(rng.below(kMaxScore)));
+    }
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<long> updates{0};
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      cbat::Xoshiro256 rng(100 + w);
+      while (!stop.load(std::memory_order_relaxed)) {
+        const Key k = static_cast<Key>(rng.below(kMaxScore));
+        if (rng.below(2) == 0) {
+          scores.insert(k);
+        } else {
+          scores.erase(k);
+        }
+        updates.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  // The query thread prints a live percentile table; every line comes from
+  // one consistent snapshot, even though writers never pause.
+  for (int round = 1; round <= 5; ++round) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    cbat::BatEagerDel<cbat::SizeAug>::Snapshot snap(scores);
+    const auto n = snap.size();
+    std::printf("round %d: %lld scores, %ld updates applied so far\n", round,
+                static_cast<long long>(n), updates.load());
+    for (int pct : {50, 90, 99}) {
+      const auto idx = std::max<std::int64_t>(1, n * pct / 100);
+      const auto score = snap.select(idx);
+      std::printf("  p%-2d score = %7lld   (rank check: %lld/%lld)\n", pct,
+                  static_cast<long long>(score.value_or(-1)),
+                  static_cast<long long>(snap.rank(*score)),
+                  static_cast<long long>(n));
+    }
+    // How good is a score of 900000?
+    const auto better = n - snap.rank(900000);
+    std::printf("  score 900000 beats all but %lld players\n",
+                static_cast<long long>(better));
+  }
+
+  stop = true;
+  for (auto& t : writers) t.join();
+  return 0;
+}

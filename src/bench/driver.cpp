@@ -1,0 +1,171 @@
+#include "bench/driver.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace cbat::bench {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// Fill the structure with uniform random keys until it holds half the key
+// range (paper §7 Setup).
+void prefill(SetAdapter& set, const Workload& w, int threads,
+             std::uint64_t seed) {
+  const std::int64_t target = w.max_key / 2;
+  std::atomic<std::int64_t> inserted{0};
+  std::vector<std::thread> ts;
+  for (int t = 0; t < threads; ++t) {
+    ts.emplace_back([&, t] {
+      Xoshiro256 rng(seed + 1000003ULL * static_cast<std::uint64_t>(t));
+      std::int64_t local = 0;
+      while (inserted.load(std::memory_order_relaxed) + local < target) {
+        const Key k = static_cast<Key>(
+            rng.below(static_cast<std::uint64_t>(w.max_key)));
+        if (set.insert(k)) {
+          if (++local == 256) {
+            inserted.fetch_add(local, std::memory_order_relaxed);
+            local = 0;
+          }
+        }
+      }
+      inserted.fetch_add(local, std::memory_order_relaxed);
+    });
+  }
+  for (auto& t : ts) t.join();
+}
+
+struct ThreadTotals {
+  std::int64_t ops = 0;
+  std::int64_t updates = 0;
+  std::int64_t finds = 0;
+  std::int64_t queries = 0;
+  double update_lat_sum = 0;
+  std::int64_t update_lat_n = 0;
+  double query_lat_sum = 0;
+  std::int64_t query_lat_n = 0;
+};
+
+void worker(SetAdapter& set, const RunConfig& cfg, int tid,
+            std::atomic<bool>& stop, std::atomic<std::int64_t>& sorted_ctr,
+            ThreadTotals& out) {
+  const Workload& w = cfg.workload;
+  OpStream stream(w, cfg.seed + 7919ULL * static_cast<std::uint64_t>(tid + 1),
+                  &sorted_ctr);
+  stream.set_size_hint(w.max_key / 2);
+  ThreadTotals tt;
+  // Sample latency on every 32nd operation to keep clock overhead out of
+  // the throughput numbers.
+  int sample_countdown = 32 + tid;
+  while (!stop.load(std::memory_order_relaxed)) {
+    const auto op = stream.next_op();
+    const bool sample = --sample_countdown == 0;
+    Clock::time_point t0;
+    if (sample) t0 = Clock::now();
+    switch (op) {
+      case OpStream::Op::kInsert:
+        set.insert(stream.next_key());
+        ++tt.updates;
+        break;
+      case OpStream::Op::kDelete:
+        set.erase(stream.next_key());
+        ++tt.updates;
+        break;
+      case OpStream::Op::kFind:
+        set.contains(stream.next_key());
+        ++tt.finds;
+        break;
+      case OpStream::Op::kQuery: {
+        switch (w.query_kind) {
+          case QueryKind::kRange: {
+            const Key lo = stream.next_range_lo();
+            set.range_count(lo, lo + static_cast<Key>(w.rq_size) - 1);
+            break;
+          }
+          case QueryKind::kRank:
+            set.rank(stream.next_key());
+            break;
+          case QueryKind::kSelect: {
+            const std::int64_t n =
+                std::max<std::int64_t>(stream.snapshot_size_hint(), 1);
+            set.select_query(1 + static_cast<std::int64_t>(stream.next_key()) % n);
+            break;
+          }
+        }
+        ++tt.queries;
+        break;
+      }
+    }
+    if (sample) {
+      const double ns = std::chrono::duration<double, std::nano>(
+                            Clock::now() - t0)
+                            .count();
+      if (op == OpStream::Op::kQuery) {
+        tt.query_lat_sum += ns;
+        ++tt.query_lat_n;
+      } else if (op != OpStream::Op::kFind) {
+        tt.update_lat_sum += ns;
+        ++tt.update_lat_n;
+      }
+      sample_countdown = 32;
+    }
+    ++tt.ops;
+  }
+  out = tt;
+}
+
+}  // namespace
+
+RunResult run_on(SetAdapter& set, const RunConfig& cfg) {
+  if (cfg.prefill) prefill(set, cfg.workload, cfg.threads, cfg.seed ^ 0xabcd);
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::int64_t> sorted_ctr{0};
+  std::vector<ThreadTotals> totals(cfg.threads);
+  std::vector<std::thread> ts;
+  const auto t0 = Clock::now();
+  for (int t = 0; t < cfg.threads; ++t) {
+    ts.emplace_back(worker, std::ref(set), std::cref(cfg), t, std::ref(stop),
+                    std::ref(sorted_ctr), std::ref(totals[t]));
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(cfg.duration_ms));
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : ts) t.join();
+  const double secs =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+
+  RunResult r;
+  r.structure = set.name();
+  r.config = cfg;
+  r.seconds = secs;
+  double ulat = 0, qlat = 0;
+  std::int64_t un = 0, qn = 0;
+  for (const auto& tt : totals) {
+    r.total_ops += tt.ops;
+    r.updates += tt.updates;
+    r.finds += tt.finds;
+    r.queries += tt.queries;
+    ulat += tt.update_lat_sum;
+    un += tt.update_lat_n;
+    qlat += tt.query_lat_sum;
+    qn += tt.query_lat_n;
+  }
+  r.update_latency_ns = un > 0 ? ulat / un : 0;
+  r.query_latency_ns = qn > 0 ? qlat / qn : 0;
+  return r;
+}
+
+RunResult run_benchmark(const std::string& structure, const RunConfig& cfg) {
+  auto set = make_structure(structure);
+  if (!set) {
+    RunResult r;
+    r.structure = "UNKNOWN:" + structure;
+    return r;
+  }
+  return run_on(*set, cfg);
+}
+
+}  // namespace cbat::bench

@@ -1,0 +1,44 @@
+// Benchmark driver: prefill + timed mixed-operation phase, matching the
+// paper's protocol (§7 Setup: prefill to half the key range, run the mix
+// for a fixed wall-clock duration, report throughput; Figure 9 additionally
+// reports per-operation-class latency, which we sample every 32nd op).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "bench/adapters.h"
+#include "bench/workload.h"
+
+namespace cbat::bench {
+
+struct RunConfig {
+  Workload workload;
+  int threads = 4;
+  int duration_ms = 200;
+  bool prefill = true;  // fill to max_key/2 before timing (paper default)
+  std::uint64_t seed = 12345;
+};
+
+struct RunResult {
+  std::string structure;
+  RunConfig config;
+  double seconds = 0;
+  std::int64_t total_ops = 0;
+  std::int64_t updates = 0;  // inserts + deletes
+  std::int64_t finds = 0;
+  std::int64_t queries = 0;
+  double update_latency_ns = 0;  // sampled averages
+  double query_latency_ns = 0;
+
+  double mops() const { return total_ops / seconds / 1e6; }
+  double throughput() const { return total_ops / seconds; }
+};
+
+// Runs one (structure, config) cell.  Creates the structure fresh.
+RunResult run_benchmark(const std::string& structure, const RunConfig& cfg);
+
+// Runs on an existing adapter (no construction, optional prefill skip).
+RunResult run_on(SetAdapter& set, const RunConfig& cfg);
+
+}  // namespace cbat::bench

@@ -1,0 +1,83 @@
+#include "bench/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace cbat::bench {
+
+Table::Table(std::string title, std::string x_label)
+    : title_(std::move(title)), x_label_(std::move(x_label)) {}
+
+void Table::set_columns(const std::vector<std::string>& xs) { columns_ = xs; }
+
+void Table::add_cell(const std::string& series, const std::string& value) {
+  for (auto& [name, cells] : rows_) {
+    if (name == series) {
+      cells.push_back(value);
+      return;
+    }
+  }
+  rows_.push_back({series, {value}});
+}
+
+void Table::print() const {
+  std::printf("\n== %s ==\n", title_.c_str());
+  std::size_t w0 = x_label_.size();
+  for (const auto& [name, cells] : rows_) w0 = std::max(w0, name.size());
+  std::size_t wc = 8;
+  for (const auto& c : columns_) wc = std::max(wc, c.size());
+  for (const auto& [name, cells] : rows_) {
+    for (const auto& c : cells) wc = std::max(wc, c.size());
+  }
+  std::printf("%-*s", static_cast<int>(w0 + 2), x_label_.c_str());
+  for (const auto& c : columns_) {
+    std::printf(" %*s", static_cast<int>(wc), c.c_str());
+  }
+  std::printf("\n");
+  for (const auto& [name, cells] : rows_) {
+    std::printf("%-*s", static_cast<int>(w0 + 2), name.c_str());
+    for (const auto& c : cells) {
+      std::printf(" %*s", static_cast<int>(wc), c.c_str());
+    }
+    std::printf("\n");
+  }
+  std::fflush(stdout);
+}
+
+void Table::print_csv() const {
+  std::printf("# %s\n%s", title_.c_str(), x_label_.c_str());
+  for (const auto& c : columns_) std::printf(",%s", c.c_str());
+  std::printf("\n");
+  for (const auto& [name, cells] : rows_) {
+    std::printf("%s", name.c_str());
+    for (const auto& c : cells) std::printf(",%s", c.c_str());
+    std::printf("\n");
+  }
+  std::fflush(stdout);
+}
+
+std::string fmt_throughput(double ops_per_sec) {
+  char buf[32];
+  if (ops_per_sec >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2fM", ops_per_sec / 1e6);
+  } else if (ops_per_sec >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.1fK", ops_per_sec / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0f", ops_per_sec);
+  }
+  return buf;
+}
+
+std::string fmt_latency_ns(double ns) {
+  char buf[32];
+  if (ns >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2fms", ns / 1e6);
+  } else if (ns >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.2fus", ns / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0fns", ns);
+  }
+  return buf;
+}
+
+}  // namespace cbat::bench

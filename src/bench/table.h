@@ -1,0 +1,32 @@
+// Console table / CSV output for the figure benches.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace cbat::bench {
+
+// Prints a table: one row per series (structure), one column per x value.
+// Used to reproduce the paper's figures as text: the series and axes match
+// the plots, so "who wins and by how much" is directly readable.
+class Table {
+ public:
+  Table(std::string title, std::string x_label);
+
+  void set_columns(const std::vector<std::string>& xs);
+  void add_cell(const std::string& series, const std::string& value);
+  void print() const;
+  void print_csv() const;
+
+ private:
+  std::string title_;
+  std::string x_label_;
+  std::vector<std::string> columns_;
+  std::vector<std::pair<std::string, std::vector<std::string>>> rows_;
+};
+
+// Formats a throughput (ops/sec) the way the paper's axes do.
+std::string fmt_throughput(double ops_per_sec);
+std::string fmt_latency_ns(double ns);
+
+}  // namespace cbat::bench

@@ -1,0 +1,60 @@
+#include "bench/workload.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace cbat::bench {
+
+std::string Workload::mix_string() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g-%g-%g-%g", insert_pct, delete_pct,
+                find_pct, query_pct);
+  return buf;
+}
+
+OpStream::OpStream(const Workload& w, std::uint64_t seed,
+                   std::atomic<std::int64_t>* sorted_counter)
+    : w_(w), rng_(seed), sorted_counter_(sorted_counter) {
+  if (w.dist == KeyDist::kZipf) {
+    zipf_ = std::make_unique<ZipfGenerator>(
+        static_cast<std::uint64_t>(w.max_key), w.zipf_theta);
+  }
+  const double scale = 4294967296.0 / 100.0;  // percent -> 2^32 range
+  t_insert_ = static_cast<std::uint64_t>(w.insert_pct * scale);
+  t_delete_ = t_insert_ + static_cast<std::uint64_t>(w.delete_pct * scale);
+  t_find_ = t_delete_ + static_cast<std::uint64_t>(w.find_pct * scale);
+}
+
+OpStream::Op OpStream::next_op() {
+  const std::uint64_t r = rng_.next() & 0xffffffffULL;
+  if (r < t_insert_) return Op::kInsert;
+  if (r < t_delete_) return Op::kDelete;
+  if (r < t_find_) return Op::kFind;
+  return Op::kQuery;
+}
+
+Key OpStream::next_key() {
+  switch (w_.dist) {
+    case KeyDist::kUniform:
+      return static_cast<Key>(rng_.below(static_cast<std::uint64_t>(w_.max_key)));
+    case KeyDist::kZipf:
+      return static_cast<Key>(zipf_->next(rng_) - 1);
+    case KeyDist::kSorted: {
+      if (sorted_next_ >= sorted_end_) {
+        sorted_next_ = sorted_counter_->fetch_add(100);
+        sorted_end_ = sorted_next_ + 100;
+      }
+      return static_cast<Key>(sorted_next_++);
+    }
+  }
+  return 0;
+}
+
+Key OpStream::next_range_lo() {
+  const std::int64_t hi_bound = w_.max_key > w_.rq_size
+                                    ? w_.max_key - w_.rq_size
+                                    : 1;
+  return static_cast<Key>(rng_.below(static_cast<std::uint64_t>(hi_bound)));
+}
+
+}  // namespace cbat::bench

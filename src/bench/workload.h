@@ -1,0 +1,65 @@
+// Workload specification mirroring the paper's experimental grammar (§7):
+// an operation mix `i%-d%-f%-q%`, a key distribution (uniform, Zipfian or
+// sorted), a maximum key, and a range-query size.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "util/keys.h"
+#include "util/random.h"
+#include "util/zipf.h"
+
+namespace cbat::bench {
+
+enum class QueryKind { kRange, kRank, kSelect };
+
+enum class KeyDist { kUniform, kZipf, kSorted };
+
+struct Workload {
+  // Operation mix in percent (may be fractional); must sum to 100.
+  double insert_pct = 50;
+  double delete_pct = 50;
+  double find_pct = 0;
+  double query_pct = 0;
+  QueryKind query_kind = QueryKind::kRange;
+
+  Key max_key = 100000;       // keys drawn from [0, max_key)
+  std::int64_t rq_size = 1000;  // width of range queries
+  KeyDist dist = KeyDist::kUniform;
+  double zipf_theta = 0.95;
+
+  std::string mix_string() const;
+};
+
+// Per-thread operation/key stream.
+class OpStream {
+ public:
+  enum class Op { kInsert, kDelete, kFind, kQuery };
+
+  OpStream(const Workload& w, std::uint64_t seed,
+           std::atomic<std::int64_t>* sorted_counter);
+
+  Op next_op();
+  Key next_key();                 // key for insert/delete/find
+  Key next_range_lo();            // lower bound for a range query
+  std::int64_t snapshot_size_hint() const { return size_hint_; }
+  void set_size_hint(std::int64_t n) { size_hint_ = n; }
+
+ private:
+  const Workload& w_;
+  Xoshiro256 rng_;
+  std::unique_ptr<ZipfGenerator> zipf_;
+  // Sorted distribution: threads take batches of 100 keys from a global
+  // counter (paper §7, "Workloads").
+  std::atomic<std::int64_t>* sorted_counter_;
+  std::int64_t sorted_next_ = 0;
+  std::int64_t sorted_end_ = 0;
+  std::int64_t size_hint_ = 0;  // used to bound select() arguments
+  // thresholds in [0, 2^32)
+  std::uint64_t t_insert_, t_delete_, t_find_;
+};
+
+}  // namespace cbat::bench

@@ -1,0 +1,154 @@
+#include "bundled/bundled_tree.h"
+
+#include <cassert>
+
+namespace cbat {
+
+BundledTree::BundledTree() { root_ = new BNode(kInf2, false); }
+
+BundledTree::~BundledTree() {
+  std::vector<BNode*> stack{root_};
+  while (!stack.empty()) {
+    BNode* n = stack.back();
+    stack.pop_back();
+    for (int d = 0; d < 2; ++d) {
+      if (BNode* c = n->child[d].read()) stack.push_back(c);
+    }
+    delete n;
+  }
+  Ebr::drain();
+}
+
+BundledTree::BNode* BundledTree::find_node(Key k, BNode** parent,
+                                           int* dir) const {
+  BNode* p = nullptr;
+  int d = 0;
+  BNode* n = root_;
+  while (n != nullptr && n->key != k) {
+    p = n;
+    d = k < n->key ? 0 : 1;
+    n = n->child[d].read();
+  }
+  *parent = p;
+  *dir = d;
+  return n;
+}
+
+bool BundledTree::insert(Key k) {
+  assert(k <= kMaxUserKey);
+  EbrGuard g;
+  while (true) {
+    BNode* parent;
+    int dir;
+    BNode* n = find_node(k, &parent, &dir);
+    if (n != nullptr) {
+      // Node exists: flip the presence bundle if logically absent.
+      std::lock_guard<std::mutex> lock(n->mu);
+      if (n->present.read() == kPresentTag) return false;
+      n->present.vcas(nullptr, kPresentTag);  // stamped at CAS time
+      return true;
+    }
+    std::unique_lock<std::mutex> lock(parent->mu);
+    if (parent->child[dir].read() != nullptr) continue;  // raced; retry
+    auto* fresh = new BNode(k, true);
+    parent->child[dir].vcas(nullptr, fresh);
+    return true;
+  }
+}
+
+bool BundledTree::erase(Key k) {
+  assert(k <= kMaxUserKey);
+  EbrGuard g;
+  BNode* parent;
+  int dir;
+  BNode* n = find_node(k, &parent, &dir);
+  if (n == nullptr) return false;
+  std::lock_guard<std::mutex> lock(n->mu);
+  if (n->present.read() != kPresentTag) return false;
+  n->present.vcas(kPresentTag, nullptr);
+  return true;
+}
+
+bool BundledTree::contains(Key k) const {
+  assert(k <= kMaxUserKey);
+  EbrGuard g;
+  BNode* parent;
+  int dir;
+  BNode* n = find_node(k, &parent, &dir);
+  return n != nullptr && n->present.read() == kPresentTag;
+}
+
+std::int64_t BundledTree::count_rec(const BNode* n, std::uint64_t t, Key lo,
+                                    Key hi) const {
+  if (n == nullptr) return 0;
+  std::int64_t c = 0;
+  if (!is_sentinel_key(n->key) && lo <= n->key && n->key <= hi &&
+      n->present.read_at(t) == kPresentTag) {
+    c = 1;
+  }
+  if (lo < n->key) c += count_rec(n->child[0].read_at(t), t, lo, hi);
+  if (hi > n->key) c += count_rec(n->child[1].read_at(t), t, lo, hi);
+  return c;
+}
+
+void BundledTree::collect_rec(const BNode* n, std::uint64_t t, Key lo, Key hi,
+                              std::vector<Key>* out,
+                              std::size_t limit) const {
+  if (n == nullptr) return;
+  if (limit > 0 && out->size() >= limit) return;
+  if (lo < n->key) collect_rec(n->child[0].read_at(t), t, lo, hi, out, limit);
+  if (limit > 0 && out->size() >= limit) return;
+  if (!is_sentinel_key(n->key) && lo <= n->key && n->key <= hi &&
+      n->present.read_at(t) == kPresentTag) {
+    out->push_back(n->key);
+  }
+  if (hi > n->key) collect_rec(n->child[1].read_at(t), t, lo, hi, out, limit);
+}
+
+std::int64_t BundledTree::range_count(Key lo, Key hi) const {
+  if (lo > hi) return 0;
+  SnapshotScope s;
+  return count_rec(root_, s.ts, lo, hi);
+}
+
+std::int64_t BundledTree::rank(Key k) const {
+  SnapshotScope s;
+  return count_rec(root_, s.ts, std::numeric_limits<Key>::min(), k);
+}
+
+std::int64_t BundledTree::size() const {
+  SnapshotScope s;
+  return count_rec(root_, s.ts, std::numeric_limits<Key>::min(), kMaxUserKey);
+}
+
+std::optional<Key> BundledTree::select(std::int64_t i) const {
+  if (i < 1) return std::nullopt;
+  SnapshotScope s;
+  std::vector<Key> keys;
+  collect_rec(root_, s.ts, std::numeric_limits<Key>::min(), kMaxUserKey,
+              &keys, static_cast<std::size_t>(i));
+  if (static_cast<std::int64_t>(keys.size()) < i) return std::nullopt;
+  return keys[i - 1];
+}
+
+std::vector<Key> BundledTree::range_collect(Key lo, Key hi,
+                                            std::size_t limit) const {
+  std::vector<Key> out;
+  if (lo > hi) return out;
+  SnapshotScope s;
+  collect_rec(root_, s.ts, lo, hi, &out, limit);
+  return out;
+}
+
+int BundledTree::height_rec(const BNode* n) const {
+  if (n == nullptr) return 0;
+  return 1 + std::max(height_rec(n->child[0].read()),
+                      height_rec(n->child[1].read()));
+}
+
+int BundledTree::height_slow() const {
+  EbrGuard g;
+  return height_rec(root_);
+}
+
+}  // namespace cbat

@@ -1,0 +1,30 @@
+#include "chromatic/chromatic_set.h"
+
+namespace cbat {
+
+ChromaticSet::ChromaticSet() = default;
+ChromaticSet::~ChromaticSet() = default;
+
+bool ChromaticSet::insert(Key k) {
+  EbrGuard g;
+  return tree_.insert(k);
+}
+
+bool ChromaticSet::erase(Key k) {
+  EbrGuard g;
+  return tree_.erase(k);
+}
+
+bool ChromaticSet::contains(Key k) const {
+  EbrGuard g;
+  return tree_.contains(k);
+}
+
+std::size_t ChromaticSet::size_slow() const { return tree_.size_slow(); }
+
+ChromaticTree<NoVersionPolicy>::InvariantReport ChromaticSet::check_invariants()
+    const {
+  return tree_.check_invariants();
+}
+
+}  // namespace cbat

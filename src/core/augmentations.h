@@ -1,0 +1,98 @@
+// Augmentation policies for BAT and FR-BST.
+//
+// The paper's scheme supports *generic* augmentation functions: any value
+// computable from a node's key and its children's supplementary fields
+// (§1.1, Definition 1 uses subtree size as the running example).  An
+// augmentation policy supplies:
+//
+//   using Value   — the supplementary field type (copyable, trivial enough
+//                   to live inside immutable Version objects);
+//   Value leaf(Key k)  — value of a leaf holding key k;
+//   Value sentinel()   — value of a sentinel leaf.  Must be the identity of
+//                        combine() so sentinels contribute nothing;
+//   Value combine(l,r) — value of an internal node from its children.
+//
+// Policies that additionally expose `size_of(Value) -> int64` unlock the
+// order-statistic queries (rank, select, range count).
+#pragma once
+
+#include <algorithm>
+#include <concepts>
+#include <cstdint>
+
+#include "util/keys.h"
+
+namespace cbat {
+
+template <class Aug>
+concept Augmentation = requires(Key k, const typename Aug::Value& v) {
+  { Aug::leaf(k) } -> std::convertible_to<typename Aug::Value>;
+  { Aug::sentinel() } -> std::convertible_to<typename Aug::Value>;
+  { Aug::combine(v, v) } -> std::convertible_to<typename Aug::Value>;
+};
+
+template <class Aug>
+concept SizedAugmentation = Augmentation<Aug> &&
+    requires(const typename Aug::Value& v) {
+      { Aug::size_of(v) } -> std::convertible_to<std::int64_t>;
+    };
+
+// Subtree sizes: the paper's running example; enables order statistics.
+struct SizeAug {
+  using Value = std::int64_t;
+  static Value leaf(Key) { return 1; }
+  static Value sentinel() { return 0; }
+  static Value combine(Value l, Value r) { return l + r; }
+  static std::int64_t size_of(Value v) { return v; }
+};
+
+// Sum of keys: an aggregation query ("sum of values", §1).
+struct KeySumAug {
+  using Value = std::int64_t;
+  static Value leaf(Key k) { return k; }
+  static Value sentinel() { return 0; }
+  static Value combine(Value l, Value r) { return l + r; }
+};
+
+// Min/max key in the subtree: a non-abelian-group augmentation, i.e. one
+// that the SP/KYAA schemes (related work, §2) cannot express but FR/BAT can.
+struct MinMaxAug {
+  struct Value {
+    Key min;
+    Key max;
+    bool operator==(const Value&) const = default;
+  };
+  static Value leaf(Key k) { return {k, k}; }
+  static Value sentinel() {
+    return {std::numeric_limits<Key>::max(), std::numeric_limits<Key>::min()};
+  }
+  static Value combine(const Value& l, const Value& r) {
+    return {std::min(l.min, r.min), std::max(l.max, r.max)};
+  }
+};
+
+// Composition: carry two augmentations at once.  Inherits order-statistic
+// support from A when A is sized.
+template <class A, class B>
+struct PairAug {
+  struct Value {
+    typename A::Value first;
+    typename B::Value second;
+    bool operator==(const Value&) const = default;
+  };
+  static Value leaf(Key k) { return {A::leaf(k), B::leaf(k)}; }
+  static Value sentinel() { return {A::sentinel(), B::sentinel()}; }
+  static Value combine(const Value& l, const Value& r) {
+    return {A::combine(l.first, r.first), B::combine(l.second, r.second)};
+  }
+  static std::int64_t size_of(const Value& v)
+    requires SizedAugmentation<A>
+  {
+    return A::size_of(v.first);
+  }
+};
+
+// Size + sum: the workhorse for the analytics example.
+using SizeSumAug = PairAug<SizeAug, KeySumAug>;
+
+}  // namespace cbat

@@ -1,0 +1,488 @@
+// BAT — the lock-free Balanced Augmented Tree (paper §4, §5, §6).
+//
+// An update first runs the chromatic-tree routine (CTInsert/CTDelete, with
+// the Version Initialization Rules of Definition 1 applied to every node it
+// allocates), then calls Propagate to carry the update's effect on the
+// supplementary fields up to the root.  Queries read Root.version once and
+// run sequential algorithms on the resulting immutable snapshot
+// (version_queries.h).
+//
+// Three variants, selected by the Delegation template parameter:
+//   kNone     — plain BAT (paper Fig. 3): double refresh per node.
+//   kDel      — BAT-Del (Fig. 13): delegate after a failed double refresh.
+//   kEagerDel — BAT-EagerDel (Fig. 14): delegate after a single failure,
+//               with the children-version stability re-check.
+// Both delegation schemes use the PropStatus chain of Appendix A and can be
+// made non-blocking with a wait timeout (§5); the timeout defaults to on.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "chromatic/chromatic_tree.h"
+#include "core/version.h"
+#include "core/version_queries.h"
+#include "reclamation/ebr.h"
+#include "util/backoff.h"
+#include "util/counters.h"
+#include "util/flat_set.h"
+
+namespace cbat {
+
+enum class Delegation { kNone, kDel, kEagerDel };
+
+namespace detail {
+
+// Version Initialization Rules (Definition 1): leaves get a ready version
+// (size 1, or 0 for sentinels); new internal nodes get nil so their
+// supplementary fields are recomputed from current information when needed
+// (this is what makes rotations safe, §4.1).
+template <Augmentation Aug>
+struct BatVersionPolicy {
+  using V = Version<Aug>;
+
+  static void init_leaf(Node* n) {
+    auto* v = pool_new<V>(nullptr, nullptr, n->key,
+                    is_sentinel_key(n->key) ? Aug::sentinel() : Aug::leaf(n->key),
+                    nullptr);
+    n->version.store(v, std::memory_order_release);
+  }
+
+  static void init_internal(Node* n) {
+    n->version.store(nullptr, std::memory_order_relaxed);
+  }
+
+  // Insert patches: both children are freshly made leaves whose versions
+  // are final, so the internal node's version is computable immediately and
+  // reflects exactly the operations that will have arrived at it when the
+  // insertion's SCX succeeds (Definition 7, part 2).  Rotation patches must
+  // stay nil (§4.1); they go through init_internal above.
+  static void init_internal_for_insert(Node* n, Node* left, Node* right) {
+    auto* vl = static_cast<V*>(left->version.load(std::memory_order_relaxed));
+    auto* vr = static_cast<V*>(right->version.load(std::memory_order_relaxed));
+    auto* v =
+        pool_new<V>(vl, vr, n->key, Aug::combine(vl->aug, vr->aug), nullptr);
+    n->version.store(v, std::memory_order_release);
+  }
+
+  // §6: a node's final version is retired immediately before the node is
+  // freed — new operations can no longer reach it, while older snapshots
+  // that still can are protected by their own epoch.
+  static void on_node_free(Node* n) {
+    auto* v = static_cast<V*>(n->version.load(std::memory_order_acquire));
+    if (v != nullptr) pool_retire(v);
+  }
+};
+
+}  // namespace detail
+
+template <Augmentation Aug, Delegation Del = Delegation::kNone>
+class BatTree {
+ public:
+  using AugValue = typename Aug::Value;
+  using V = Version<Aug>;
+
+  BatTree() {
+    // The root is internal, so Definition 1 leaves its version nil; fill it
+    // so queries always find a snapshot at Root.version.
+    EbrGuard g;
+    refresh_nil(tree_.root());
+  }
+
+  // --- updates (paper Fig. 3 Insert/Delete) ------------------------------
+
+  bool insert(Key k) {
+    EbrGuard g;
+    const bool result = tree_.insert(k);
+    propagate(k);  // even unsuccessful updates must propagate (§4)
+    return result;
+  }
+
+  bool erase(Key k) {
+    EbrGuard g;
+    const bool result = tree_.erase(k);
+    propagate(k);
+    return result;
+  }
+
+  // --- queries (linearized at the read of Root.version) ------------------
+
+  bool contains(Key k) const {
+    EbrGuard g;
+    return version_contains<Aug>(root_version(), k);
+  }
+
+  std::int64_t size() const
+    requires SizedAugmentation<Aug>
+  {
+    EbrGuard g;
+    return version_size<Aug>(root_version());
+  }
+
+  // Number of keys <= k.
+  std::int64_t rank(Key k) const
+    requires SizedAugmentation<Aug>
+  {
+    EbrGuard g;
+    return version_rank<Aug>(root_version(), k);
+  }
+
+  // i-th smallest key (1-based).
+  std::optional<Key> select(std::int64_t i) const
+    requires SizedAugmentation<Aug>
+  {
+    EbrGuard g;
+    return version_select<Aug>(root_version(), i);
+  }
+
+  // Number of keys in [lo, hi].
+  std::int64_t range_count(Key lo, Key hi) const
+    requires SizedAugmentation<Aug>
+  {
+    EbrGuard g;
+    return version_range_count<Aug>(root_version(), lo, hi);
+  }
+
+  // Aggregate of the augmentation over keys in [lo, hi].
+  AugValue range_aggregate(Key lo, Key hi) const {
+    EbrGuard g;
+    return version_range_aggregate<Aug>(root_version(), lo, hi);
+  }
+
+  // Largest key <= k / smallest key >= k (paper §8's predecessor queries).
+  std::optional<Key> floor(Key k) const {
+    EbrGuard g;
+    return version_floor<Aug>(root_version(), k);
+  }
+  std::optional<Key> ceiling(Key k) const {
+    EbrGuard g;
+    return version_ceiling<Aug>(root_version(), k);
+  }
+
+  // i-th smallest key within [lo, hi] (1-based).
+  std::optional<Key> select_in_range(Key lo, Key hi, std::int64_t i) const
+    requires SizedAugmentation<Aug>
+  {
+    EbrGuard g;
+    return version_select_in_range<Aug>(root_version(), lo, hi, i);
+  }
+
+  // All keys in [lo, hi], in order (limit = 0 means unlimited).
+  std::vector<Key> range_collect(Key lo, Key hi, std::size_t limit = 0) const {
+    EbrGuard g;
+    std::vector<Key> out;
+    version_collect_range<Aug>(root_version(), lo, hi, &out, limit);
+    return out;
+  }
+
+  // RAII snapshot for composite queries: all reads through one Snapshot see
+  // the same version tree.  Keeps an epoch pinned; keep it short-lived.
+  class Snapshot {
+   public:
+    explicit Snapshot(const BatTree& t) : root_(t.root_version()) {}
+    Snapshot(const Snapshot&) = delete;
+    Snapshot& operator=(const Snapshot&) = delete;
+
+    bool contains(Key k) const { return version_contains<Aug>(root_, k); }
+    std::int64_t size() const
+      requires SizedAugmentation<Aug>
+    {
+      return version_size<Aug>(root_);
+    }
+    std::int64_t rank(Key k) const
+      requires SizedAugmentation<Aug>
+    {
+      return version_rank<Aug>(root_, k);
+    }
+    std::optional<Key> select(std::int64_t i) const
+      requires SizedAugmentation<Aug>
+    {
+      return version_select<Aug>(root_, i);
+    }
+    std::int64_t range_count(Key lo, Key hi) const
+      requires SizedAugmentation<Aug>
+    {
+      return version_range_count<Aug>(root_, lo, hi);
+    }
+    AugValue range_aggregate(Key lo, Key hi) const {
+      return version_range_aggregate<Aug>(root_, lo, hi);
+    }
+    std::vector<Key> keys(Key lo = std::numeric_limits<Key>::min(),
+                          Key hi = kMaxUserKey) const {
+      std::vector<Key> out;
+      version_collect_range<Aug>(root_, lo, hi, &out);
+      return out;
+    }
+    const V* root() const { return root_; }
+
+   private:
+    EbrGuard guard_;
+    const V* root_;
+  };
+
+  // --- configuration & introspection --------------------------------------
+
+  // Spin budget a delegating Propagate waits before resuming on its own
+  // (making the scheme non-blocking, §5).  0 disables the timeout.
+  static void set_delegation_timeout(std::uint64_t spins) {
+    delegation_timeout_spins_ = spins;
+  }
+
+  // The current root version (for tests).
+  const V* root_version_unsafe() const { return root_version(); }
+
+  ChromaticTree<detail::BatVersionPolicy<Aug>>& node_tree() { return tree_; }
+  const ChromaticTree<detail::BatVersionPolicy<Aug>>& node_tree() const {
+    return tree_;
+  }
+
+ private:
+  V* root_version() const {
+    // The root node is never replaced and its version is set in the
+    // constructor and only ever CAS'd non-nil -> non-nil afterwards.
+    return static_cast<V*>(
+        tree_.root()->version.load(std::memory_order_acquire));
+  }
+
+  static V* version_of(const Node* n) {
+    return static_cast<V*>(n->version.load(std::memory_order_acquire));
+  }
+
+  // --- Refresh machinery (paper Fig. 3 lines 49-69; Fig. 12) -------------
+
+  // Reads x's version, first fixing it if nil (recursive refresh).
+  V* read_version(Node* x) {
+    V* v = version_of(x);
+    if (v == nullptr) {
+      refresh_nil(x);
+      v = version_of(x);
+    }
+    return v;
+  }
+
+  // Recursive refresh: only ever changes a version pointer nil -> non-nil
+  // (the separation from top-level refreshes matters for delegation
+  // correctness and reclamation, §5/§6).
+  void refresh_nil(Node* x) {
+    Node* xl;
+    V* vl;
+    do {
+      xl = x->child[0].load(std::memory_order_acquire);
+      vl = read_version(xl);
+    } while (x->child[0].load(std::memory_order_acquire) != xl);
+    Node* xr;
+    V* vr;
+    do {
+      xr = x->child[1].load(std::memory_order_acquire);
+      vr = read_version(xr);
+    } while (x->child[1].load(std::memory_order_acquire) != xr);
+    auto* nv = pool_new<V>(vl, vr, x->key, Aug::combine(vl->aug, vr->aug), nullptr);
+    void* expected = nullptr;
+    if (x->version.compare_exchange_strong(expected, nv,
+                                           std::memory_order_acq_rel,
+                                           std::memory_order_acquire)) {
+      Counters::bump(Counter::kNilRefreshes);
+    } else {
+      pool_delete(nv);  // never published
+    }
+  }
+
+  struct RefreshResult {
+    bool success = false;
+    PropStatus* blocker = nullptr;  // status of the Refresh that beat us
+    V* vl = nullptr;                // child versions we read
+    V* vr = nullptr;
+    V* old = nullptr;               // the version we replaced (on success)
+  };
+
+  // Top-level refresh: changes the version pointer non-nil -> non-nil.
+  RefreshResult refresh(Node* x, PropStatus* ps) {
+    RefreshResult r;
+    V* old = read_version(x);
+    Node* xl;
+    do {
+      xl = x->child[0].load(std::memory_order_acquire);
+      r.vl = read_version(xl);
+    } while (x->child[0].load(std::memory_order_acquire) != xl);
+    Node* xr;
+    do {
+      xr = x->child[1].load(std::memory_order_acquire);
+      r.vr = read_version(xr);
+    } while (x->child[1].load(std::memory_order_acquire) != xr);
+    auto* nv =
+        pool_new<V>(r.vl, r.vr, x->key, Aug::combine(r.vl->aug, r.vr->aug), ps);
+    Counters::bump(Counter::kRefreshCas);
+    void* expected = old;
+    if (x->version.compare_exchange_strong(expected, nv,
+                                           std::memory_order_acq_rel,
+                                           std::memory_order_acquire)) {
+      r.success = true;
+      r.old = old;
+      return r;
+    }
+    pool_delete(nv);  // never published
+    Counters::bump(Counter::kRefreshCasFail);
+    r.blocker = static_cast<V*>(expected)->status;
+    return r;
+  }
+
+  // --- Propagate (Fig. 3 / Fig. 13 / Fig. 14) ----------------------------
+
+  struct Scratch {
+    std::vector<Node*> stack;
+    FlatPtrSet refreshed;
+    std::vector<V*> to_retire;
+  };
+
+  static Scratch& scratch() {
+    thread_local Scratch s;
+    return s;
+  }
+
+  void propagate(Key k) {
+    Counters::bump(Counter::kPropagateCalls);
+    Scratch& s = scratch();
+    s.stack.clear();
+    s.refreshed.clear();
+    s.to_retire.clear();
+    Node* const root = tree_.root();
+    s.stack.push_back(root);
+
+    PropStatus* ps = nullptr;
+    if constexpr (Del != Delegation::kNone) ps = pool_new<PropStatus>();
+
+    bool first_descent = true;
+    bool delegated = false;
+    while (true) {
+      // Walk down from the top of the stack until the child on k's search
+      // path has already been refreshed or is a leaf (Fig. 3 lines 37-41).
+      Node* next = s.stack.back();
+      while (true) {
+        next = next->child[dir_of(k, next)].load(std::memory_order_acquire);
+        if (s.refreshed.contains(next) || next->is_leaf()) break;
+        s.stack.push_back(next);
+        Counters::bump(first_descent ? Counter::kSearchPathNodes
+                                     : Counter::kPropagateExtraNodes);
+      }
+      first_descent = false;
+      Node* top = s.stack.back();
+      s.stack.pop_back();
+      Counters::bump(Counter::kPropagateNodes);
+
+      if (!refresh_one(top, ps, s, &delegated)) {
+        // Delegated: our remaining work completes with the delegatee.
+        break;
+      }
+      s.refreshed.insert(top);
+      if (top == root) break;
+    }
+
+    if (ps != nullptr) {
+      ps->done.store(true, std::memory_order_release);
+      // §6: safe to retire at the end of the creating Propagate even while
+      // reachable — only operations already running can still read it.
+      pool_retire(ps);
+    }
+    // §6: once the Propagate has reached the root (itself or through its
+    // delegatee), every version it replaced is unreachable from the current
+    // version tree; older snapshots are protected by their epochs.
+    for (V* v : s.to_retire) pool_retire(v);
+    (void)delegated;
+  }
+
+  // Refreshes `top` according to the variant.  Returns false iff the
+  // propagate delegated its remaining work (and has already waited).
+  bool refresh_one(Node* top, PropStatus* ps, Scratch& s, bool* delegated) {
+    if constexpr (Del == Delegation::kNone) {
+      RefreshResult r = refresh(top, ps);
+      if (r.success) {
+        s.to_retire.push_back(r.old);
+        return true;
+      }
+      r = refresh(top, ps);  // the double refresh (Fig. 3 lines 43-45)
+      if (r.success) s.to_retire.push_back(r.old);
+      return true;
+    } else if constexpr (Del == Delegation::kDel) {
+      RefreshResult r = refresh(top, ps);
+      if (r.success) {
+        s.to_retire.push_back(r.old);
+        return true;
+      }
+      r = refresh(top, ps);
+      if (r.success) {
+        s.to_retire.push_back(r.old);
+        return true;
+      }
+      if (!top->is_finalized() && r.blocker != nullptr) {
+        ps->delegatee.store(r.blocker, std::memory_order_release);
+        if (wait_for_delegatee(r.blocker)) {
+          *delegated = true;
+          return false;
+        }
+        // Timed out: resume propagating ourselves (non-blocking mode).
+        ps->delegatee.store(nullptr, std::memory_order_release);
+        return refresh_one(top, ps, s, delegated);
+      }
+      return true;
+    } else {  // kEagerDel (Fig. 14)
+      while (true) {
+        RefreshResult r = refresh(top, ps);
+        if (!r.success) {
+          if (!top->is_finalized() && r.blocker != nullptr) {
+            ps->delegatee.store(r.blocker, std::memory_order_release);
+            if (wait_for_delegatee(r.blocker)) {
+              *delegated = true;
+              return false;
+            }
+            ps->delegatee.store(nullptr, std::memory_order_release);
+          }
+          continue;  // retry the refresh
+        }
+        s.to_retire.push_back(r.old);
+        // Stability check: keep refreshing until the children's versions
+        // did not change across the successful refresh, which guarantees we
+        // saw every arrival point a beaten Refresh was propagating (§5).
+        Node* xl = top->child[0].load(std::memory_order_acquire);
+        Node* xr = top->child[1].load(std::memory_order_acquire);
+        if (version_of(xl) == r.vl && version_of(xr) == r.vr) return true;
+      }
+    }
+  }
+
+  // Follows the delegation chain to its head and spins on its done flag
+  // (Fig. 12 WaitForDelegatee).  Returns false on timeout.
+  bool wait_for_delegatee(PropStatus* d) {
+    Counters::bump(Counter::kDelegations);
+    const std::uint64_t limit = delegation_timeout_spins_;
+    std::uint64_t spins = 0;
+    while (!d->done.load(std::memory_order_acquire)) {
+      PropStatus* next = d->delegatee.load(std::memory_order_acquire);
+      if (next != nullptr) {
+        d = next;
+        continue;
+      }
+      cpu_relax();
+      if ((++spins & 63) == 0) std::this_thread::yield();
+      if (limit != 0 && spins > limit) {
+        Counters::bump(Counter::kDelegationTimeouts);
+        return false;
+      }
+    }
+    return true;
+  }
+
+  static inline std::uint64_t delegation_timeout_spins_ = 1u << 16;
+
+  ChromaticTree<detail::BatVersionPolicy<Aug>> tree_;
+};
+
+// The three variants evaluated in the paper.
+template <Augmentation Aug = SizeAug>
+using Bat = BatTree<Aug, Delegation::kNone>;
+template <Augmentation Aug = SizeAug>
+using BatDel = BatTree<Aug, Delegation::kDel>;
+template <Augmentation Aug = SizeAug>
+using BatEagerDel = BatTree<Aug, Delegation::kEagerDel>;
+
+}  // namespace cbat

@@ -1,0 +1,40 @@
+// Version objects and PropStatus (paper §3.2, §4, Appendix A Fig. 11).
+//
+// Every tree node points at a Version holding the current value of its
+// supplementary fields.  Versions are immutable once published and point to
+// the child versions they were computed from, so the versions themselves
+// form a BST (the *version tree*) mirroring the node tree; reading the
+// root's version pointer therefore yields an atomic snapshot on which any
+// sequential query can run unmodified.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "core/augmentations.h"
+#include "util/keys.h"
+
+namespace cbat {
+
+// Synchronization cell for the delegation optimization (§5): one per
+// Propagate call; versions record the PropStatus of the Propagate whose
+// Refresh created them so a beaten Refresh knows whom to wait for.
+struct PropStatus {
+  std::atomic<bool> done{false};
+  std::atomic<PropStatus*> delegatee{nullptr};
+};
+
+template <Augmentation Aug>
+struct Version {
+  using Value = typename Aug::Value;
+
+  Version* left;   // child versions; null iff this is a leaf version
+  Version* right;
+  Key key;         // key of the node this version was created for
+  Value aug;       // the supplementary fields
+  PropStatus* status;  // Propagate that installed this version (may be null)
+
+  bool is_leaf() const { return left == nullptr; }
+};
+
+}  // namespace cbat

@@ -1,0 +1,210 @@
+// Read-only queries over an immutable version tree (paper §3.2, §4, Fig. 3).
+//
+// A query reads the root's version pointer once and then runs a *sequential*
+// algorithm on the immutable snapshot, "unaffected by concurrent updates".
+// These helpers implement the queries the paper evaluates: membership
+// (Find), rank, select, range count, plus generic range aggregation and key
+// collection.  All cost O(height) except collection, which additionally
+// pays for the keys it reports.
+//
+// The caller must keep the snapshot alive (hold an EbrGuard) for the
+// duration of the query; BatTree's public methods and Snapshot handle do so.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/version.h"
+
+namespace cbat {
+
+// Standard BST search on the version tree (paper Fig. 3, Find).
+template <Augmentation Aug>
+bool version_contains(const Version<Aug>* v, Key k) {
+  while (!v->is_leaf()) {
+    v = (k < v->key) ? v->left : v->right;
+  }
+  return v->key == k;
+}
+
+// Number of keys in the whole snapshot.
+template <SizedAugmentation Aug>
+std::int64_t version_size(const Version<Aug>* root) {
+  return Aug::size_of(root->aug);
+}
+
+// Number of keys <= k (the paper's rank query).
+template <SizedAugmentation Aug>
+std::int64_t version_rank(const Version<Aug>* v, Key k) {
+  std::int64_t acc = 0;
+  while (!v->is_leaf()) {
+    if (k < v->key) {
+      v = v->left;
+    } else {
+      acc += Aug::size_of(v->left->aug);
+      v = v->right;
+    }
+  }
+  if (!is_sentinel_key(v->key) && v->key <= k) acc += Aug::size_of(v->aug);
+  return acc;
+}
+
+// Number of keys strictly less than k.
+template <SizedAugmentation Aug>
+std::int64_t version_rank_less(const Version<Aug>* v, Key k) {
+  std::int64_t acc = 0;
+  while (!v->is_leaf()) {
+    if (k <= v->key) {
+      v = v->left;
+    } else {
+      acc += Aug::size_of(v->left->aug);
+      v = v->right;
+    }
+  }
+  if (!is_sentinel_key(v->key) && v->key < k) acc += Aug::size_of(v->aug);
+  return acc;
+}
+
+// The i-th smallest key, 1-based (the paper's select query).
+template <SizedAugmentation Aug>
+std::optional<Key> version_select(const Version<Aug>* v, std::int64_t i) {
+  if (i < 1 || i > Aug::size_of(v->aug)) return std::nullopt;
+  while (!v->is_leaf()) {
+    const std::int64_t ls = Aug::size_of(v->left->aug);
+    if (i <= ls) {
+      v = v->left;
+    } else {
+      i -= ls;
+      v = v->right;
+    }
+  }
+  return v->key;
+}
+
+// Number of keys in [lo, hi]; two root-to-leaf descents (paper §7 "range
+// queries ... traverse two paths").
+template <SizedAugmentation Aug>
+std::int64_t version_range_count(const Version<Aug>* root, Key lo, Key hi) {
+  if (lo > hi) return 0;
+  return version_rank<Aug>(root, hi) - version_rank_less<Aug>(root, lo);
+}
+
+namespace detail {
+
+template <Augmentation Aug>
+typename Aug::Value range_agg_rec(const Version<Aug>* v, Key lo, Key hi,
+                                  Key vmin, Key vmax) {
+  if (hi < vmin || vmax < lo) return Aug::sentinel();
+  if (lo <= vmin && vmax <= hi) return v->aug;
+  if (v->is_leaf()) {
+    return (lo <= v->key && v->key <= hi) ? v->aug : Aug::sentinel();
+  }
+  return Aug::combine(
+      range_agg_rec<Aug>(v->left, lo, hi, vmin, v->key - 1),
+      range_agg_rec<Aug>(v->right, lo, hi, v->key, vmax));
+}
+
+}  // namespace detail
+
+// Aggregate of the augmentation over keys in [lo, hi]: descends at most two
+// boundary paths, summing fully-contained subtrees by their stored value.
+// Requires lo/hi to be user keys (sentinels contribute the identity).
+template <Augmentation Aug>
+typename Aug::Value version_range_aggregate(const Version<Aug>* root, Key lo,
+                                            Key hi) {
+  if (lo > hi) return Aug::sentinel();
+  return detail::range_agg_rec<Aug>(root, lo, hi,
+                                    std::numeric_limits<Key>::min(), kInf2);
+}
+
+// Appends all keys in [lo, hi] to out, in order; stops after limit keys if
+// limit > 0.  Cost Theta(reported + height).
+template <Augmentation Aug>
+void version_collect_range(const Version<Aug>* v, Key lo, Key hi,
+                           std::vector<Key>* out, std::size_t limit = 0) {
+  if (limit > 0 && out->size() >= limit) return;
+  if (v->is_leaf()) {
+    if (!is_sentinel_key(v->key) && lo <= v->key && v->key <= hi) {
+      out->push_back(v->key);
+    }
+    return;
+  }
+  if (lo < v->key) version_collect_range<Aug>(v->left, lo, hi, out, limit);
+  if (hi >= v->key) version_collect_range<Aug>(v->right, lo, hi, out, limit);
+}
+
+// Largest key <= k, if any (the predecessor-style query of paper §8).
+// Two chained descents: remember the last left subtree we skipped past,
+// then resolve its rightmost leaf only if the main descent missed.
+template <Augmentation Aug>
+std::optional<Key> version_floor(const Version<Aug>* v, Key k) {
+  const Version<Aug>* cand = nullptr;  // subtree entirely <= k, if any
+  while (!v->is_leaf()) {
+    if (k < v->key) {
+      v = v->left;
+    } else {
+      cand = v->left;
+      v = v->right;
+    }
+  }
+  if (!is_sentinel_key(v->key) && v->key <= k) return v->key;
+  if (cand == nullptr) return std::nullopt;
+  // cand hangs left of a node with key <= k, so its rightmost leaf is a
+  // real key < kInf1 (sentinels live only on the tree's far right spine).
+  while (!cand->is_leaf()) cand = cand->right;
+  return cand->key;
+}
+
+// Smallest key >= k, if any.
+template <Augmentation Aug>
+std::optional<Key> version_ceiling(const Version<Aug>* v, Key k) {
+  const Version<Aug>* cand = nullptr;  // subtree entirely >= k, if any
+  while (!v->is_leaf()) {
+    if (k < v->key) {
+      cand = v->right;
+      v = v->left;
+    } else {
+      v = v->right;
+    }
+  }
+  if (!is_sentinel_key(v->key) && v->key >= k) return v->key;
+  if (cand == nullptr) return std::nullopt;
+  while (!cand->is_leaf()) cand = cand->left;
+  // The candidate's minimum can still be a sentinel (the kInf1 leaf sits in
+  // the rightmost real subtree); that means no real key >= k exists.
+  if (is_sentinel_key(cand->key)) return std::nullopt;
+  return cand->key;
+}
+
+// i-th smallest key within [lo, hi] (1-based): a composite order-statistic
+// query answered with two rank descents plus one select descent, all on the
+// same snapshot.
+template <SizedAugmentation Aug>
+std::optional<Key> version_select_in_range(const Version<Aug>* root, Key lo,
+                                           Key hi, std::int64_t i) {
+  if (lo > hi || i < 1) return std::nullopt;
+  const std::int64_t before = version_rank_less<Aug>(root, lo);
+  const std::int64_t inside = version_rank<Aug>(root, hi) - before;
+  if (i > inside) return std::nullopt;
+  return version_select<Aug>(root, before + i);
+}
+
+// --- validation helpers (used by tests) ------------------------------------
+
+// Checks paper Invariant 24 (v.aug == combine(children)) and the BST order
+// of the version tree.  Returns false on any violation.
+template <Augmentation Aug>
+bool version_tree_valid(const Version<Aug>* v, Key lo, Key hi) {
+  if (v->is_leaf()) {
+    if (v->right != nullptr) return false;
+    return v->key >= lo && v->key <= hi;
+  }
+  if (v->right == nullptr) return false;
+  if (!(v->aug == Aug::combine(v->left->aug, v->right->aug))) return false;
+  return version_tree_valid<Aug>(v->left, lo,
+                                 std::min<Key>(hi, v->key - 1)) &&
+         version_tree_valid<Aug>(v->right, std::max<Key>(lo, v->key), hi);
+}
+
+}  // namespace cbat

@@ -1,0 +1,10 @@
+#include "frbst/frbst.h"
+
+namespace cbat {
+
+// Explicit instantiations for the configurations used by tests, benches and
+// examples; keeps their compile times down.
+template class FrBst<SizeAug>;
+template class FrBst<SizeSumAug>;
+
+}  // namespace cbat

@@ -1,0 +1,53 @@
+// LLX and SCX primitives (Brown–Ellen–Ruppert, PODC 2013).
+//
+// LLX(r) returns a consistent snapshot of r's mutable fields together with
+// the descriptor observed in r.info.  SCX(V, R, fld, new) atomically
+// changes one field and finalizes the records in R, succeeding only if no
+// record in V was modified since the caller's LLX of it.  Both are built
+// from single-word CAS with cooperative helping, exactly as in the paper.
+#pragma once
+
+#include "llxscx/scx_record.h"
+
+namespace cbat {
+
+// Result of a successful LLX: the descriptor observed plus a snapshot of
+// the node's mutable fields (child pointers).
+struct LlxSnap {
+  Node* node = nullptr;
+  ScxRecord* info = nullptr;
+  Node* children[2] = {nullptr, nullptr};
+
+  Node* left() const { return children[0]; }
+  Node* right() const { return children[1]; }
+  Node* child(int dir) const { return children[dir]; }
+};
+
+enum class LlxStatus { kOk, kFail, kFinalized };
+
+// Attempts an LLX on r.  On kOk, *snap holds the snapshot.  kFail means a
+// concurrent SCX interfered (we helped it); kFinalized means r has been
+// removed from the tree.  Caller must hold an EbrGuard.
+LlxStatus llx(Node* r, LlxSnap* snap);
+
+// Performs an SCX.
+//   v:             LLX snapshots of the records in V, in freeze order.
+//                  v[0] must be the node containing *field.
+//   num:           |V| (<= kMaxScxNodes)
+//   finalize_from: index into v of the first record to finalize; records
+//                  v[finalize_from..num) form R.
+//   field:         the mutable field to change (a child pointer of v[0]).
+//   new_value:     value to store.
+// The expected old value is taken from v[0]'s snapshot.
+// Returns true iff the SCX committed.  Caller must hold an EbrGuard.
+bool scx(const LlxSnap* v, int num, int finalize_from,
+         std::atomic<Node*>* field, Node* new_value);
+
+// Cooperative completion of a pending SCX (exposed for tests).
+bool scx_help(ScxRecord* u);
+
+// Drops the reference a node holds to its descriptor; called by node
+// deleters when a node is physically freed.
+void release_node_info(Node* n);
+
+}  // namespace cbat

@@ -1,0 +1,50 @@
+// Tree node layout shared by the chromatic tree and BAT.
+//
+// A node is an LLX/SCX *record* (paper §3.1): its mutable fields (the two
+// child pointers) may only change through a successful SCX, its `info`
+// pointer names the last SCX that froze it, and `marked` is the finalized
+// bit set when the node is removed from the tree.
+//
+// The `version` pointer (BAT's supplementary fields, paper §4) is *not*
+// part of the record: it is manipulated directly with CAS so augmentation
+// does not interfere with chromatic-tree operations.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "util/keys.h"
+
+namespace cbat {
+
+struct ScxRecord;
+
+struct Node {
+  // Immutable after construction.  Weight changes always allocate a
+  // replacement node, which keeps weights readable without an LLX.
+  Key key;
+  std::int32_t weight;
+
+  // Mutable fields protected by LLX/SCX.  Both null for leaves.
+  std::atomic<Node*> child[2];
+
+  // LLX/SCX bookkeeping.
+  std::atomic<ScxRecord*> info;
+  std::atomic<bool> marked{false};
+
+  // BAT version pointer (type-erased; the augmented tree knows the type).
+  std::atomic<void*> version{nullptr};
+
+  Node(Key k, std::int32_t w, Node* left, Node* right);
+
+  bool is_leaf() const {
+    return child[0].load(std::memory_order_acquire) == nullptr;
+  }
+  bool is_finalized() const { return marked.load(std::memory_order_acquire); }
+};
+
+// Direction helpers: children are indexed so that the search for key k at
+// internal node n steps to child[ k < n->key ? 0 : 1 ].
+inline int dir_of(Key k, const Node* n) { return k < n->key ? 0 : 1; }
+
+}  // namespace cbat

@@ -1,0 +1,39 @@
+// SCX operation descriptors (paper §3.1; Brown–Ellen–Ruppert 2013).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "llxscx/node.h"
+#include "reclamation/descriptor.h"
+
+namespace cbat {
+
+inline constexpr int kMaxScxNodes = 6;
+
+struct ScxRecord : RefCountedDescriptor {
+  enum State : int { kInProgress = 0, kCommitted = 1, kAborted = 2 };
+
+  std::atomic<int> state{kInProgress};
+  std::atomic<bool> all_frozen{false};
+
+  // V: the records this SCX depends on, in freeze order; infos[i] is the
+  // descriptor observed by the caller's LLX of nodes[i].
+  int num_nodes = 0;
+  Node* nodes[kMaxScxNodes] = {};
+  ScxRecord* infos[kMaxScxNodes] = {};
+
+  // R: nodes[finalize_from .. num_nodes) are finalized on commit.
+  int finalize_from = 1;
+
+  // The single field update: *field goes old_value -> new_value.
+  std::atomic<Node*>* field = nullptr;
+  Node* old_value = nullptr;
+  Node* new_value = nullptr;
+};
+
+// Statically allocated descriptor used as the initial `info` value of fresh
+// nodes: permanently Committed, never reclaimed.
+ScxRecord* scx_initial_record();
+
+}  // namespace cbat

@@ -1,0 +1,94 @@
+// Epoch-based reclamation (paper §6).
+//
+// Classic 3-epoch EBR in the style of Fraser / DEBRA: a global epoch, a
+// per-thread announcement slot, and three per-thread limbo bags.  An object
+// retired while the global epoch is e may be freed once the global epoch
+// reaches e+2, because advancing the epoch twice requires every operation
+// that was active at retire time to have finished.
+//
+// This matches the property the paper relies on throughout §6: "an object is
+// safe to retire at time T if it will not be accessed by any high-level
+// operation that starts after time T".
+//
+// Usage: every public tree operation opens an `EbrGuard` (re-entrant).
+// Unlinked objects are passed to `Ebr::retire(ptr, deleter)`.  Deleters may
+// themselves call `retire` (e.g. freeing a node retires its final version,
+// exactly as §6 prescribes).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "util/padded.h"
+#include "util/thread_registry.h"
+
+namespace cbat {
+
+class Ebr {
+ public:
+  using Deleter = void (*)(void*);
+
+  static Ebr& instance();
+
+  // Defers destruction of p until all currently-active operations finish.
+  static void retire(void* p, Deleter d) { instance().retire_impl(p, d); }
+
+  // Frees everything immediately.  Caller must guarantee quiescence (no
+  // other thread inside a guard or calling retire).  Used by tests and by
+  // the benchmark driver between phases.
+  static void drain();
+
+  // Number of objects currently awaiting reclamation (approximate).
+  static std::size_t pending();
+
+  friend class EbrGuard;
+
+ private:
+  static constexpr std::uint64_t kQuiescent = ~0ULL;
+  static constexpr int kBags = 3;
+  static constexpr std::size_t kAdvanceThreshold = 256;
+
+  struct Bag {
+    std::vector<std::pair<void*, Deleter>> items;
+    std::uint64_t epoch = 0;
+  };
+
+  struct Ctx {
+    std::atomic<std::uint64_t> announce{kQuiescent};
+    Bag bags[kBags];
+    std::uint64_t retire_count = 0;
+    int nesting = 0;
+  };
+
+  Ebr() = default;
+
+  void enter();
+  void exit();
+  void retire_impl(void* p, Deleter d);
+  void try_advance();
+  void reclaim_safe_bags(Ctx& ctx, std::uint64_t global);
+  static void free_bag(Bag& bag);
+
+  Ctx& ctx() { return *ctxs_[ThreadRegistry::thread_id()]; }
+
+  std::atomic<std::uint64_t> epoch_{1};
+  Padded<Ctx> ctxs_[kMaxThreads];
+};
+
+// RAII epoch guard; re-entrant per thread.
+class EbrGuard {
+ public:
+  EbrGuard() { Ebr::instance().enter(); }
+  ~EbrGuard() { Ebr::instance().exit(); }
+  EbrGuard(const EbrGuard&) = delete;
+  EbrGuard& operator=(const EbrGuard&) = delete;
+};
+
+// Convenience typed retire.
+template <class T>
+void ebr_retire(T* p) {
+  Ebr::retire(p, [](void* q) { delete static_cast<T*>(q); });
+}
+
+}  // namespace cbat

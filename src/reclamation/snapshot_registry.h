@@ -1,0 +1,62 @@
+// Registry of active snapshot timestamps.
+//
+// The multiversioned baselines (VcasBST's version lists, the bundled tree's
+// bundle entries) keep one version per outstanding snapshot.  Queries
+// announce the timestamp they read at; writers may discard versions that no
+// current snapshot — and no future one, since future snapshots get larger
+// timestamps — can observe.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "util/padded.h"
+#include "util/thread_registry.h"
+
+namespace cbat {
+
+class SnapshotRegistry {
+ public:
+  static constexpr std::uint64_t kNone = ~0ULL;
+
+  // RAII announcement of an active snapshot timestamp.
+  class Guard {
+   public:
+    explicit Guard(std::uint64_t ts) : slot_(&slot()) {
+      prev_ = slot_->load(std::memory_order_relaxed);
+      slot_->store(ts, std::memory_order_seq_cst);
+    }
+    ~Guard() { slot_->store(prev_, std::memory_order_seq_cst); }
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+
+   private:
+    std::atomic<std::uint64_t>* slot_;
+    std::uint64_t prev_;  // support nested snapshots
+  };
+
+  // Smallest announced timestamp, or `fallback` if none is active.  Safe
+  // truncation boundary: versions superseded at or before this timestamp
+  // are invisible to every current and future snapshot.
+  static std::uint64_t min_active(std::uint64_t fallback) {
+    std::uint64_t m = fallback;
+    const int n = ThreadRegistry::instance().max_id();
+    for (int t = 0; t < n; ++t) {
+      const std::uint64_t a = slots()[t]->load(std::memory_order_seq_cst);
+      // 0 = never-used slot (timestamps start at 1).
+      if (a != 0 && a < m) m = a;
+    }
+    return m;
+  }
+
+ private:
+  static Padded<std::atomic<std::uint64_t>>* slots() {
+    static Padded<std::atomic<std::uint64_t>> s[kMaxThreads];
+    return s;
+  }
+  static std::atomic<std::uint64_t>& slot() {
+    return *slots()[ThreadRegistry::thread_id()];
+  }
+};
+
+}  // namespace cbat

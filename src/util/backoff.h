@@ -1,0 +1,40 @@
+// Exponential backoff for CAS retry loops.
+#pragma once
+
+#include <cstdint>
+#include <thread>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace cbat {
+
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  _mm_pause();
+#else
+  std::this_thread::yield();
+#endif
+}
+
+class Backoff {
+ public:
+  explicit Backoff(std::uint32_t max_spins = 1024) : limit_(1), max_(max_spins) {}
+
+  void pause() {
+    for (std::uint32_t i = 0; i < limit_; ++i) cpu_relax();
+    if (limit_ < max_) limit_ *= 2;
+    // Give the scheduler a chance once contention persists; essential when
+    // threads outnumber cores (our test machines are small).
+    if (limit_ >= max_) std::this_thread::yield();
+  }
+
+  void reset() { limit_ = 1; }
+
+ private:
+  std::uint32_t limit_;
+  std::uint32_t max_;
+};
+
+}  // namespace cbat

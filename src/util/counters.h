@@ -1,0 +1,57 @@
+// Per-thread event counters for the paper's §7 statistics.
+//
+// The paper reports, per Propagate call: nodes visited beyond the initial
+// search path, nil versions filled in, CASes attempted, and delegations.
+// Counters are plain per-thread slots (padded; no synchronization on the hot
+// path) aggregated on demand by `snapshot()`.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+#include "util/padded.h"
+#include "util/thread_registry.h"
+
+namespace cbat {
+
+enum class Counter : int {
+  kPropagateCalls = 0,
+  kPropagateNodes,       // nodes refreshed or traversed by Propagate
+  kPropagateExtraNodes,  // nodes beyond the initial root-to-leaf search path
+  kSearchPathNodes,      // nodes on the initial search path
+  kRefreshCas,           // CAS attempts on version pointers
+  kRefreshCasFail,
+  kNilRefreshes,         // RefreshNil version installs
+  kDelegations,
+  kDelegationTimeouts,
+  kScxAttempts,
+  kScxFailures,
+  kRebalanceSteps,
+  kNumCounters
+};
+
+class Counters {
+ public:
+  static constexpr int kN = static_cast<int>(Counter::kNumCounters);
+
+  static void bump(Counter c, std::uint64_t n = 1) {
+    slot()[static_cast<int>(c)] += n;
+  }
+
+  struct Snapshot {
+    std::array<std::uint64_t, kN> v{};
+    std::uint64_t operator[](Counter c) const { return v[static_cast<int>(c)]; }
+  };
+
+  // Sums all thread slots (approximate while threads run; exact at quiescence).
+  static Snapshot snapshot();
+
+  // Zeroes all slots; call only while no worker threads run.
+  static void reset();
+
+ private:
+  static std::uint64_t* slot();
+};
+
+}  // namespace cbat

@@ -1,0 +1,89 @@
+// Open-addressing set of pointers with O(1) amortized clear.
+//
+// Propagate (paper Fig. 3) keeps a per-call `refreshed` set of Node*.  The
+// set is consulted on every step of the downward traversal, so it must be
+// cheap: open addressing, power-of-two capacity, and "clear by version
+// stamp" so that clearing between Propagate calls costs O(1).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace cbat {
+
+class FlatPtrSet {
+ public:
+  explicit FlatPtrSet(std::size_t initial_capacity = 64) { init(initial_capacity); }
+
+  void clear() {
+    ++stamp_;
+    size_ = 0;
+    if (stamp_ == 0) {  // stamp wrapped: really wipe
+      std::memset(stamps_.data(), 0, stamps_.size() * sizeof(stamps_[0]));
+      stamp_ = 1;
+    }
+  }
+
+  bool contains(const void* p) const {
+    std::size_t i = slot(p);
+    while (stamps_[i] == stamp_) {
+      if (keys_[i] == p) return true;
+      i = (i + 1) & mask_;
+    }
+    return false;
+  }
+
+  // Inserts p; returns true if newly inserted.
+  bool insert(const void* p) {
+    if (size_ * 2 >= keys_.size()) grow();
+    std::size_t i = slot(p);
+    while (stamps_[i] == stamp_) {
+      if (keys_[i] == p) return false;
+      i = (i + 1) & mask_;
+    }
+    keys_[i] = p;
+    stamps_[i] = stamp_;
+    ++size_;
+    return true;
+  }
+
+  std::size_t size() const { return size_; }
+
+ private:
+  void init(std::size_t cap) {
+    std::size_t c = 16;
+    while (c < cap) c <<= 1;
+    keys_.assign(c, nullptr);
+    stamps_.assign(c, 0);
+    mask_ = c - 1;
+    stamp_ = 1;
+    size_ = 0;
+  }
+
+  void grow() {
+    std::vector<const void*> old_keys = std::move(keys_);
+    std::vector<std::uint32_t> old_stamps = std::move(stamps_);
+    const std::uint32_t old_stamp = stamp_;
+    init(old_keys.size() * 2);
+    for (std::size_t i = 0; i < old_keys.size(); ++i) {
+      if (old_stamps[i] == old_stamp) insert(old_keys[i]);
+    }
+  }
+
+  std::size_t slot(const void* p) const {
+    auto h = reinterpret_cast<std::uintptr_t>(p);
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= h >> 33;
+    return static_cast<std::size_t>(h) & mask_;
+  }
+
+  std::vector<const void*> keys_;
+  std::vector<std::uint32_t> stamps_;
+  std::size_t mask_ = 0;
+  std::uint32_t stamp_ = 1;
+  std::size_t size_ = 0;
+};
+
+}  // namespace cbat

@@ -1,0 +1,25 @@
+// Key type and sentinel values shared by every tree in the library.
+//
+// All trees in this repository store sets of 64-bit integer keys.  The
+// chromatic tree and the FR-BST are leaf-oriented and keep a couple of
+// sentinel nodes with "infinite" keys at the top of the tree (paper §3.1),
+// so the largest two representable keys are reserved.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace cbat {
+
+using Key = std::int64_t;
+
+// Sentinel keys: INF2 > INF1 > every user key.
+inline constexpr Key kInf2 = std::numeric_limits<Key>::max();
+inline constexpr Key kInf1 = std::numeric_limits<Key>::max() - 1;
+
+// Largest key a caller may insert.
+inline constexpr Key kMaxUserKey = kInf1 - 1;
+
+inline constexpr bool is_sentinel_key(Key k) { return k >= kInf1; }
+
+}  // namespace cbat

@@ -1,0 +1,24 @@
+// Cache-line padding helpers.
+//
+// Shared per-thread slots (epoch announcements, statistics counters) are
+// padded to a cache line each so that writes by one thread do not invalidate
+// lines read by others (false sharing).
+#pragma once
+
+#include <cstddef>
+
+namespace cbat {
+
+inline constexpr std::size_t kCacheLine = 128;  // covers adjacent-line prefetch
+
+template <class T>
+struct alignas(kCacheLine) Padded {
+  T value{};
+
+  T* operator->() { return &value; }
+  const T* operator->() const { return &value; }
+  T& operator*() { return value; }
+  const T& operator*() const { return value; }
+};
+
+}  // namespace cbat

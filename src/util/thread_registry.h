@@ -1,0 +1,37 @@
+// Global thread registry.
+//
+// Every concurrency-sensitive component (EBR, statistics counters,
+// per-thread scratch space) needs a small dense integer id per thread.
+// Threads acquire a slot the first time they touch the library and release
+// it at thread exit, so slots are recycled across benchmark phases.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace cbat {
+
+inline constexpr int kMaxThreads = 288;  // > paper's 192 hyperthreads
+
+class ThreadRegistry {
+ public:
+  static ThreadRegistry& instance();
+
+  // Dense id of the calling thread, registering it if needed.
+  static int thread_id();
+
+  // Upper bound (exclusive) over ids ever handed out; scan limit for EBR.
+  int max_id() const { return high_water_.load(std::memory_order_seq_cst); }
+
+ private:
+  friend struct ThreadSlot;
+  ThreadRegistry() = default;
+
+  int acquire();
+  void release(int id);
+
+  std::atomic<bool> used_[kMaxThreads] = {};
+  std::atomic<int> high_water_{0};
+};
+
+}  // namespace cbat

@@ -1,0 +1,58 @@
+#include "util/zipf.h"
+
+#include <cmath>
+
+namespace cbat {
+
+ZipfGenerator::ZipfGenerator(std::uint64_t n, double theta)
+    : n_(n), theta_(theta) {
+  h_integral_x1_ = h_integral(1.5) - 1.0;
+  h_integral_num_elements_ = h_integral(static_cast<double>(n) + 0.5);
+  s_ = 2.0 - h_integral_inverse(h_integral(2.5) - h(2.0));
+}
+
+double ZipfGenerator::h(double x) const { return std::exp(-theta_ * std::log(x)); }
+
+double ZipfGenerator::h_integral(double x) const {
+  const double log_x = std::log(x);
+  // integral of x^-theta; helper handles theta ~ 1 smoothly via expm1/log1p.
+  const double t = (1.0 - theta_) * log_x;
+  double v;
+  if (std::fabs(t) > 1e-8) {
+    v = std::expm1(t) / (1.0 - theta_);
+  } else {
+    v = log_x * (1.0 + t / 2.0 + t * t / 6.0);
+  }
+  return v;
+}
+
+double ZipfGenerator::h_integral_inverse(double x) const {
+  double t = x * (1.0 - theta_);
+  if (t < -1.0) t = -1.0;  // clamp against rounding
+  double v;
+  if (std::fabs(t) > 1e-8) {
+    v = std::log1p(t) / (1.0 - theta_);
+  } else {
+    v = x * (1.0 - x * (1.0 - theta_) / 2.0 + x * x * (1.0 - theta_) * (1.0 - theta_) / 3.0);
+  }
+  return std::exp(v);
+}
+
+std::uint64_t ZipfGenerator::next(Xoshiro256& rng) const {
+  while (true) {
+    const double u = h_integral_num_elements_ +
+                     rng.uniform01() * (h_integral_x1_ - h_integral_num_elements_);
+    const double x = h_integral_inverse(u);
+    std::uint64_t k = static_cast<std::uint64_t>(x + 0.5);
+    if (k < 1) k = 1;
+    if (k > n_) k = n_;
+    const double kd = static_cast<double>(k);
+    // Accept k either via the cheap squeeze (k close enough to x) or the
+    // exact rejection test against the hat function.
+    if (kd - x <= s_ || u >= h_integral(kd + 0.5) - h(kd)) {
+      return k;
+    }
+  }
+}
+
+}  // namespace cbat

@@ -1,0 +1,38 @@
+// Zipfian sampler over {1..n} with exponent theta.
+//
+// The paper's size-scalability experiment (Figure 10) and the propagate
+// statistics (§7) draw keys from Zipfian distributions with parameters 0.95
+// and 0.99.  We use the rejection-inversion sampler of Hörmann & Derflinger,
+// which needs O(1) state (no O(n) table) and is exact.
+#pragma once
+
+#include <cstdint>
+
+#include "util/random.h"
+
+namespace cbat {
+
+class ZipfGenerator {
+ public:
+  // n: number of distinct items; theta: skew (0 = uniform-ish, ~1 = heavy).
+  ZipfGenerator(std::uint64_t n, double theta);
+
+  // Returns a value in [1, n]; item 1 is the most popular.
+  std::uint64_t next(Xoshiro256& rng) const;
+
+  std::uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  double h(double x) const;
+  double h_integral(double x) const;
+  double h_integral_inverse(double x) const;
+
+  std::uint64_t n_;
+  double theta_;
+  double h_integral_x1_;
+  double h_integral_num_elements_;
+  double s_;
+};
+
+}  // namespace cbat

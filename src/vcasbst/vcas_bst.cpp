@@ -1,0 +1,321 @@
+#include "vcasbst/vcas_bst.h"
+
+#include <cassert>
+
+#include "reclamation/pool.h"
+#include "util/backoff.h"
+
+namespace cbat {
+
+namespace {
+enum State : std::uintptr_t { kClean = 0, kIFlag = 1, kDFlag = 2, kMark = 3 };
+inline State state_of(std::uintptr_t w) { return static_cast<State>(w & 3); }
+inline std::uintptr_t ptr_bits(std::uintptr_t w) { return w & ~std::uintptr_t{3}; }
+}  // namespace
+
+struct VcasBst::Info : RefCountedDescriptor {
+  bool is_insert = false;
+  VbNode* p = nullptr;
+  VbNode* new_internal = nullptr;
+  VbNode* l = nullptr;
+  VbNode* gp = nullptr;
+  std::uintptr_t pupdate = 0;
+};
+
+namespace {
+inline VcasBst::Info* info_of(std::uintptr_t w) {
+  return reinterpret_cast<VcasBst::Info*>(ptr_bits(w));
+}
+inline std::uintptr_t pack(VcasBst::Info* i, State s) {
+  return reinterpret_cast<std::uintptr_t>(i) | s;
+}
+}  // namespace
+
+VcasBst::VcasBst() {
+  root_ = mk_internal(kInf2, mk_leaf(kInf1), mk_leaf(kInf2));
+}
+
+VcasBst::~VcasBst() {
+  std::vector<VbNode*> stack{root_};
+  while (!stack.empty()) {
+    VbNode* n = stack.back();
+    stack.pop_back();
+    if (!n->is_leaf()) {
+      stack.push_back(n->child[0].read());
+      stack.push_back(n->child[1].read());
+    }
+    node_deleter(n);
+  }
+  Ebr::drain();
+}
+
+void VcasBst::node_deleter(void* p) {
+  auto* n = static_cast<VbNode*>(p);
+  descriptor_unref(info_of(n->update.load(std::memory_order_acquire)));
+  delete n;  // VersionedPtr destructors free remaining version chains
+}
+
+VcasBst::SearchResult VcasBst::search(Key k) const {
+  SearchResult r;
+  r.l = root_;
+  while (!r.l->is_leaf()) {
+    r.gp = r.p;
+    r.gpupdate = r.pupdate;
+    r.p = r.l;
+    r.pupdate = r.p->update.load(std::memory_order_acquire);
+    r.l = r.l->child[k < r.l->key ? 0 : 1].read();
+  }
+  return r;
+}
+
+bool VcasBst::contains(Key k) const {
+  assert(k <= kMaxUserKey);
+  EbrGuard g;
+  VbNode* l = root_;
+  while (!l->is_leaf()) l = l->child[k < l->key ? 0 : 1].read();
+  return l->key == k;
+}
+
+bool VcasBst::insert(Key k) {
+  assert(k <= kMaxUserKey);
+  EbrGuard g;
+  Backoff bo;
+  while (true) {
+    SearchResult s = search(k);
+    if (s.l->key == k) return false;
+    if (state_of(s.pupdate) != kClean) {
+      help(s.pupdate);
+      bo.pause();
+      continue;
+    }
+    VbNode* nl = mk_leaf(k);
+    VbNode* lc = mk_leaf(s.l->key);
+    VbNode* ni = (k < s.l->key)
+                     ? mk_internal(std::max(k, s.l->key), nl, lc)
+                     : mk_internal(std::max(k, s.l->key), lc, nl);
+    auto* op = pool_new<Info>();
+    op->is_insert = true;
+    op->p = s.p;
+    op->new_internal = ni;
+    op->l = s.l;
+    std::uintptr_t expected = s.pupdate;
+    if (s.p->update.compare_exchange_strong(expected, pack(op, kIFlag),
+                                            std::memory_order_acq_rel,
+                                            std::memory_order_acquire)) {
+      descriptor_ref(op);
+      descriptor_retire_unref(info_of(s.pupdate));
+      help_insert(op);
+      descriptor_retire_unref(op);
+      retire_node(s.l);
+      return true;
+    }
+    descriptor_retire_unref(op);
+    node_deleter(nl);
+    node_deleter(lc);
+    node_deleter(ni);
+    help(expected);
+    bo.pause();
+  }
+}
+
+bool VcasBst::erase(Key k) {
+  assert(k <= kMaxUserKey);
+  EbrGuard g;
+  Backoff bo;
+  while (true) {
+    SearchResult s = search(k);
+    if (s.l->key != k) return false;
+    if (state_of(s.gpupdate) != kClean) {
+      help(s.gpupdate);
+      bo.pause();
+      continue;
+    }
+    if (state_of(s.pupdate) != kClean) {
+      help(s.pupdate);
+      bo.pause();
+      continue;
+    }
+    auto* op = pool_new<Info>();
+    op->is_insert = false;
+    op->gp = s.gp;
+    op->p = s.p;
+    op->l = s.l;
+    op->pupdate = s.pupdate;
+    std::uintptr_t expected = s.gpupdate;
+    if (s.gp->update.compare_exchange_strong(expected, pack(op, kDFlag),
+                                             std::memory_order_acq_rel,
+                                             std::memory_order_acquire)) {
+      descriptor_ref(op);
+      descriptor_retire_unref(info_of(s.gpupdate));
+      const bool ok = help_delete(op);
+      descriptor_retire_unref(op);
+      if (ok) {
+        retire_node(s.p);
+        retire_node(s.l);
+        return true;
+      }
+    } else {
+      descriptor_retire_unref(op);
+      help(expected);
+    }
+    bo.pause();
+  }
+}
+
+void VcasBst::help(std::uintptr_t w) {
+  Info* op = info_of(w);
+  switch (state_of(w)) {
+    case kIFlag:
+      help_insert(op);
+      break;
+    case kMark:
+      help_marked(op);
+      break;
+    case kDFlag:
+      help_delete(op);
+      break;
+    case kClean:
+      break;
+  }
+}
+
+void VcasBst::cas_child(VbNode* parent, VbNode* old_child, VbNode* new_child) {
+  for (int d = 0; d < 2; ++d) {
+    if (parent->child[d].read() == old_child) {
+      parent->child[d].vcas(old_child, new_child);
+      return;
+    }
+  }
+}
+
+void VcasBst::help_insert(Info* op) {
+  cas_child(op->p, op->l, op->new_internal);
+  std::uintptr_t expected = pack(op, kIFlag);
+  op->p->update.compare_exchange_strong(expected, pack(op, kClean),
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_acquire);
+}
+
+bool VcasBst::help_delete(Info* op) {
+  std::uintptr_t expected = op->pupdate;
+  const std::uintptr_t marked = pack(op, kMark);
+  if (op->p->update.compare_exchange_strong(expected, marked,
+                                            std::memory_order_acq_rel,
+                                            std::memory_order_acquire)) {
+    descriptor_ref(op);
+    descriptor_retire_unref(info_of(op->pupdate));
+    help_marked(op);
+    return true;
+  }
+  if (expected == marked) {
+    help_marked(op);
+    return true;
+  }
+  help(expected);
+  std::uintptr_t flagged = pack(op, kDFlag);
+  op->gp->update.compare_exchange_strong(flagged, pack(op, kClean),
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_acquire);
+  return false;
+}
+
+void VcasBst::help_marked(Info* op) {
+  VbNode* c0 = op->p->child[0].read();
+  VbNode* sibling = (c0 == op->l) ? op->p->child[1].read() : c0;
+  cas_child(op->gp, op->p, sibling);
+  std::uintptr_t expected = pack(op, kDFlag);
+  op->gp->update.compare_exchange_strong(expected, pack(op, kClean),
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_acquire);
+}
+
+// --- snapshot queries --------------------------------------------------------
+
+std::int64_t VcasBst::count_rec(const VbNode* n, std::uint64_t t, Key lo,
+                                Key hi) const {
+  if (n->is_leaf()) {
+    return (!is_sentinel_key(n->key) && lo <= n->key && n->key <= hi) ? 1 : 0;
+  }
+  std::int64_t c = 0;
+  if (lo < n->key) c += count_rec(n->child[0].read_at(t), t, lo, hi);
+  if (hi >= n->key) c += count_rec(n->child[1].read_at(t), t, lo, hi);
+  return c;
+}
+
+void VcasBst::collect_rec(const VbNode* n, std::uint64_t t, Key lo, Key hi,
+                          std::vector<Key>* out, std::size_t limit) const {
+  if (limit > 0 && out->size() >= limit) return;
+  if (n->is_leaf()) {
+    if (!is_sentinel_key(n->key) && lo <= n->key && n->key <= hi) {
+      out->push_back(n->key);
+    }
+    return;
+  }
+  if (lo < n->key) collect_rec(n->child[0].read_at(t), t, lo, hi, out, limit);
+  if (hi >= n->key) collect_rec(n->child[1].read_at(t), t, lo, hi, out, limit);
+}
+
+std::int64_t VcasBst::range_count(Key lo, Key hi) const {
+  if (lo > hi) return 0;
+  SnapshotScope s;
+  return count_rec(root_, s.ts, lo, hi);
+}
+
+std::int64_t VcasBst::rank(Key k) const {
+  SnapshotScope s;
+  return count_rec(root_, s.ts, std::numeric_limits<Key>::min(), k);
+}
+
+std::int64_t VcasBst::size() const {
+  SnapshotScope s;
+  return count_rec(root_, s.ts, std::numeric_limits<Key>::min(), kMaxUserKey);
+}
+
+std::optional<Key> VcasBst::select(std::int64_t i) const {
+  if (i < 1) return std::nullopt;
+  SnapshotScope s;
+  // In-order walk, stopping at the i-th key.
+  std::int64_t seen = 0;
+  std::optional<Key> found;
+  // Explicit stack to avoid recursing with captured state.
+  std::vector<const VbNode*> stack;
+  const VbNode* n = root_;
+  while (n != nullptr || !stack.empty()) {
+    while (n != nullptr) {
+      stack.push_back(n);
+      n = n->is_leaf() ? nullptr : n->child[0].read_at(s.ts);
+    }
+    const VbNode* top = stack.back();
+    stack.pop_back();
+    if (top->is_leaf() && !is_sentinel_key(top->key)) {
+      if (++seen == i) {
+        found = top->key;
+        break;
+      }
+    }
+    n = top->is_leaf() ? nullptr : top->child[1].read_at(s.ts);
+  }
+  return found;
+}
+
+std::vector<Key> VcasBst::range_collect(Key lo, Key hi,
+                                        std::size_t limit) const {
+  std::vector<Key> out;
+  if (lo > hi) return out;
+  SnapshotScope s;
+  collect_rec(root_, s.ts, lo, hi, &out, limit);
+  return out;
+}
+
+int VcasBst::height_rec(const VbNode* n) const {
+  if (n->is_leaf()) return 0;
+  return 1 + std::max(height_rec(n->child[0].read()),
+                      height_rec(n->child[1].read()));
+}
+
+int VcasBst::height_slow() const {
+  EbrGuard g;
+  return height_rec(root_);
+}
+
+}  // namespace cbat

@@ -1,0 +1,99 @@
+// VcasBST baseline (Wei et al., PPoPP 2021): the EFRB non-blocking BST with
+// versioned-CAS child pointers, giving O(1)-time snapshots.
+//
+// Range and order-statistic queries take a snapshot timestamp and traverse
+// the tree "as of" that time, so a range query costs Θ(range + height) and
+// a rank query Θ(rank + height) — exactly the brute-force behaviour the
+// paper contrasts with BAT's O(height) augmented queries (§2, Fig. 6/7).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "reclamation/descriptor.h"
+#include "reclamation/ebr.h"
+#include "util/keys.h"
+#include "vcasbst/vcas.h"
+
+namespace cbat {
+
+class VcasBst {
+ public:
+  VcasBst();
+  ~VcasBst();
+  VcasBst(const VcasBst&) = delete;
+  VcasBst& operator=(const VcasBst&) = delete;
+
+  bool insert(Key k);
+  bool erase(Key k);
+  bool contains(Key k) const;
+
+  // Snapshot queries (linearized at the clock tick).
+  std::int64_t size() const;
+  std::int64_t rank(Key k) const;            // # keys <= k; Theta(rank)
+  std::optional<Key> select(std::int64_t i) const;  // i-th smallest
+  std::int64_t range_count(Key lo, Key hi) const;   // Theta(range)
+  std::vector<Key> range_collect(Key lo, Key hi, std::size_t limit = 0) const;
+
+  int height_slow() const;
+
+  struct Info;  // operation descriptor; defined in vcas_bst.cpp
+
+ private:
+  struct VbNode {
+    Key key;
+    bool leaf;
+    std::atomic<std::uintptr_t> update{0};
+    VersionedPtr<VbNode> child[2];
+
+    VbNode(Key k, bool is_leaf) : key(k), leaf(is_leaf) {}
+    bool is_leaf() const { return leaf; }
+  };
+
+  struct SearchResult {
+    VbNode* gp = nullptr;
+    VbNode* p = nullptr;
+    VbNode* l = nullptr;
+    std::uintptr_t gpupdate = 0;
+    std::uintptr_t pupdate = 0;
+  };
+
+  // Snapshot acquisition: announce before ticking so concurrent truncation
+  // cannot cut versions this snapshot still needs.
+  struct SnapshotScope {
+    EbrGuard ebr;
+    SnapshotRegistry::Guard reg;
+    std::uint64_t ts;
+    SnapshotScope()
+        : reg(VcasClock::now()), ts(VcasClock::take_snapshot()) {}
+  };
+
+  SearchResult search(Key k) const;
+  void help(std::uintptr_t w);
+  void help_insert(Info* op);
+  bool help_delete(Info* op);
+  void help_marked(Info* op);
+  void cas_child(VbNode* parent, VbNode* old_child, VbNode* new_child);
+
+  static VbNode* mk_leaf(Key k) { return new VbNode(k, true); }
+  static VbNode* mk_internal(Key k, VbNode* l, VbNode* r) {
+    auto* n = new VbNode(k, false);
+    n->child[0].init(l);
+    n->child[1].init(r);
+    return n;
+  }
+  static void node_deleter(void* p);
+  static void retire_node(VbNode* n) { Ebr::retire(n, &node_deleter); }
+
+  std::int64_t count_rec(const VbNode* n, std::uint64_t t, Key lo,
+                         Key hi) const;
+  void collect_rec(const VbNode* n, std::uint64_t t, Key lo, Key hi,
+                   std::vector<Key>* out, std::size_t limit) const;
+  int height_rec(const VbNode* n) const;
+
+  VbNode* root_;
+};
+
+}  // namespace cbat

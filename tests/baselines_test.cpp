@@ -1,0 +1,263 @@
+// Tests for the unaugmented baselines: VcasBST, VerBTree, BundledTree.
+// All three expose the same set interface, so the semantic suites are
+// written once and instantiated per structure (typed tests).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "btree/verbtree.h"
+#include "bundled/bundled_tree.h"
+#include "util/random.h"
+#include "vcasbst/vcas_bst.h"
+
+namespace cbat {
+namespace {
+
+template <class T>
+class BaselineSet : public ::testing::Test {};
+
+using Baselines = ::testing::Types<VcasBst, VerBTree, BundledTree>;
+TYPED_TEST_SUITE(BaselineSet, Baselines);
+
+TYPED_TEST(BaselineSet, EmptySet) {
+  TypeParam t;
+  EXPECT_FALSE(t.contains(1));
+  EXPECT_FALSE(t.erase(1));
+  EXPECT_EQ(t.size(), 0);
+  EXPECT_EQ(t.rank(100), 0);
+  EXPECT_EQ(t.select(1), std::nullopt);
+  EXPECT_EQ(t.range_count(0, 100), 0);
+}
+
+TYPED_TEST(BaselineSet, BasicOps) {
+  TypeParam t;
+  EXPECT_TRUE(t.insert(5));
+  EXPECT_FALSE(t.insert(5));
+  EXPECT_TRUE(t.contains(5));
+  EXPECT_FALSE(t.contains(4));
+  EXPECT_TRUE(t.insert(3));
+  EXPECT_TRUE(t.insert(7));
+  EXPECT_EQ(t.size(), 3);
+  EXPECT_TRUE(t.erase(5));
+  EXPECT_FALSE(t.erase(5));
+  EXPECT_FALSE(t.contains(5));
+  EXPECT_EQ(t.size(), 2);
+  // Reinsert after erase.
+  EXPECT_TRUE(t.insert(5));
+  EXPECT_TRUE(t.contains(5));
+}
+
+TYPED_TEST(BaselineSet, MatchesStdSetSequential) {
+  TypeParam t;
+  std::set<Key> ref;
+  Xoshiro256 rng(31);
+  for (int i = 0; i < 10000; ++i) {
+    const Key k = static_cast<Key>(rng.below(300));
+    switch (rng.below(3)) {
+      case 0:
+        ASSERT_EQ(t.insert(k), ref.insert(k).second) << "insert " << k;
+        break;
+      case 1:
+        ASSERT_EQ(t.erase(k), ref.erase(k) > 0) << "erase " << k;
+        break;
+      default:
+        ASSERT_EQ(t.contains(k), ref.count(k) > 0) << "contains " << k;
+    }
+  }
+  EXPECT_EQ(t.size(), static_cast<std::int64_t>(ref.size()));
+}
+
+TYPED_TEST(BaselineSet, QueriesMatchReference) {
+  TypeParam t;
+  std::set<Key> ref;
+  Xoshiro256 rng(32);
+  for (int i = 0; i < 500; ++i) {
+    const Key k = static_cast<Key>(rng.below(2000));
+    t.insert(k);
+    ref.insert(k);
+  }
+  for (int i = 0; i < 200; ++i) {
+    const Key k = static_cast<Key>(rng.below(2000));
+    t.erase(k);
+    ref.erase(k);
+  }
+  // rank
+  for (Key k = 0; k < 2000; k += 97) {
+    ASSERT_EQ(t.rank(k), static_cast<std::int64_t>(std::distance(
+                             ref.begin(), ref.upper_bound(k))))
+        << "rank " << k;
+  }
+  // select
+  std::vector<Key> sorted(ref.begin(), ref.end());
+  for (std::size_t i = 1; i <= sorted.size(); i += 53) {
+    ASSERT_EQ(t.select(static_cast<std::int64_t>(i)),
+              std::make_optional(sorted[i - 1]))
+        << "select " << i;
+  }
+  EXPECT_EQ(t.select(static_cast<std::int64_t>(sorted.size() + 1)),
+            std::nullopt);
+  // range count / collect
+  for (Key lo = 0; lo < 2000; lo += 331) {
+    const Key hi = lo + 257;
+    ASSERT_EQ(t.range_count(lo, hi),
+              static_cast<std::int64_t>(std::distance(
+                  ref.lower_bound(lo), ref.upper_bound(hi))));
+    const auto got = t.range_collect(lo, hi);
+    std::vector<Key> want(ref.lower_bound(lo), ref.upper_bound(hi));
+    ASSERT_EQ(got, want);
+  }
+}
+
+TYPED_TEST(BaselineSet, ConcurrentDisjointRanges) {
+  TypeParam t;
+  constexpr int kThreads = 8;
+  constexpr Key kPer = 1000;
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> ts;
+  for (int i = 0; i < kThreads; ++i) {
+    ts.emplace_back([&, i] {
+      const Key base = i * kPer;
+      for (Key k = base; k < base + kPer; ++k) {
+        if (!t.insert(k)) failed = true;
+      }
+      for (Key k = base + 1; k < base + kPer; k += 2) {
+        if (!t.erase(k)) failed = true;
+      }
+      for (Key k = base; k < base + kPer; k += 2) {
+        if (!t.contains(k)) failed = true;
+      }
+    });
+  }
+  for (auto& th : ts) th.join();
+  EXPECT_FALSE(failed.load());
+  EXPECT_EQ(t.size(), kThreads * kPer / 2);
+}
+
+TYPED_TEST(BaselineSet, ConcurrentSameKeyLinearizable) {
+  TypeParam t;
+  constexpr int kThreads = 6;
+  std::atomic<long> ins{0}, del{0};
+  std::vector<std::thread> ts;
+  for (int i = 0; i < kThreads; ++i) {
+    ts.emplace_back([&, i] {
+      Xoshiro256 rng(i);
+      for (int op = 0; op < 3000; ++op) {
+        if (rng.below(2) == 0) {
+          if (t.insert(99)) ins.fetch_add(1);
+        } else {
+          if (t.erase(99)) del.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& th : ts) th.join();
+  const long diff = ins.load() - del.load();
+  EXPECT_TRUE(diff == 0 || diff == 1);
+  EXPECT_EQ(t.contains(99), diff == 1);
+}
+
+// Snapshot queries concurrent with updates must be internally consistent:
+// keys 0..999 even are permanent, odds churn; a consistent snapshot always
+// reports all 500 evens.
+TYPED_TEST(BaselineSet, RangeQueriesAreSnapshotConsistent) {
+  TypeParam t;
+  for (Key k = 0; k < 1000; k += 2) t.insert(k);
+  std::atomic<bool> stop{false};
+  std::atomic<long> bad{0};
+  std::thread updater([&] {
+    Xoshiro256 rng(5);
+    while (!stop.load()) {
+      const Key k = static_cast<Key>(rng.below(500)) * 2 + 1;
+      if (rng.below(2) == 0) {
+        t.insert(k);
+      } else {
+        t.erase(k);
+      }
+    }
+  });
+  for (int i = 0; i < 300; ++i) {
+    const auto keys = t.range_collect(0, 999);
+    long evens = 0;
+    bool sorted = true;
+    for (std::size_t j = 0; j < keys.size(); ++j) {
+      if (keys[j] % 2 == 0) ++evens;
+      if (j > 0 && keys[j] <= keys[j - 1]) sorted = false;
+    }
+    if (evens != 500) bad.fetch_add(1);
+    if (!sorted) bad.fetch_add(1);
+  }
+  stop = true;
+  updater.join();
+  EXPECT_EQ(bad.load(), 0);
+}
+
+// --- structure-specific tests ----------------------------------------------
+
+TEST(VcasBstSpecific, OldSnapshotsSurviveTruncation) {
+  VcasBst t;
+  for (Key k = 0; k < 100; ++k) t.insert(k);
+  // Heavy churn to trigger version-list truncation.
+  for (int round = 0; round < 50; ++round) {
+    for (Key k = 100; k < 200; ++k) t.insert(k);
+    for (Key k = 100; k < 200; ++k) t.erase(k);
+  }
+  EXPECT_EQ(t.size(), 100);
+  EXPECT_EQ(t.range_count(0, 99), 100);
+}
+
+TEST(VerBTreeSpecific, StaysShallow) {
+  VerBTree t;
+  for (Key k = 0; k < 100000; ++k) t.insert(k);  // sorted insertion
+  EXPECT_EQ(t.size(), 100000);
+  // Fanout 16 => height ~ log_16(n/16) + slack for half-full splits.
+  EXPECT_LE(t.height_slow(), 8);
+  EXPECT_EQ(t.rank(49999), 50000);
+  EXPECT_EQ(t.select(1), std::make_optional<Key>(0));
+  EXPECT_EQ(t.select(100000), std::make_optional<Key>(99999));
+}
+
+TEST(VerBTreeSpecific, SplitHeavyConcurrentInserts) {
+  VerBTree t;
+  constexpr int kThreads = 8;
+  constexpr Key kPer = 20000;
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> ts;
+  for (int i = 0; i < kThreads; ++i) {
+    ts.emplace_back([&, i] {
+      // Interleaved keys maximize concurrent splits of shared leaves.
+      for (Key k = i; k < kThreads * kPer; k += kThreads) {
+        if (!t.insert(k)) failed = true;
+      }
+    });
+  }
+  for (auto& th : ts) th.join();
+  EXPECT_FALSE(failed.load());
+  EXPECT_EQ(t.size(), kThreads * kPer);
+  for (Key k = 0; k < kThreads * kPer; k += 997) EXPECT_TRUE(t.contains(k));
+}
+
+TEST(BundledSpecific, LogicalDeleteThenReinsertKeepsStructureSane) {
+  BundledTree t;
+  for (int round = 0; round < 20; ++round) {
+    for (Key k = 0; k < 100; ++k) ASSERT_EQ(t.insert(k), true);
+    for (Key k = 0; k < 100; ++k) ASSERT_EQ(t.erase(k), true);
+  }
+  EXPECT_EQ(t.size(), 0);
+  // Physical structure is append-only: height bounded by distinct keys, and
+  // queries still correct.
+  for (Key k = 0; k < 100; k += 2) t.insert(k);
+  EXPECT_EQ(t.range_count(0, 99), 50);
+}
+
+TEST(VcasBstSpecific, UnbalancedHeightOnSortedInsert) {
+  VcasBst t;
+  constexpr Key kN = 512;
+  for (Key k = 0; k < kN; ++k) t.insert(k);
+  EXPECT_GE(t.height_slow(), static_cast<int>(kN / 2));
+}
+
+}  // namespace
+}  // namespace cbat

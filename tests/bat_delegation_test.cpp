@@ -1,0 +1,224 @@
+// Tests for the delegation variants BAT-Del and BAT-EagerDel (paper §5,
+// Appendix A).  The variants must be observationally identical to plain BAT;
+// these tests re-run the semantic suites on both and additionally exercise
+// the delegation machinery (chains, timeouts) under contention.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "core/bat_tree.h"
+#include "util/random.h"
+
+namespace cbat {
+namespace {
+
+template <class T>
+class BatVariant : public ::testing::Test {};
+
+using Variants =
+    ::testing::Types<Bat<SizeAug>, BatDel<SizeAug>, BatEagerDel<SizeAug>>;
+TYPED_TEST_SUITE(BatVariant, Variants);
+
+TYPED_TEST(BatVariant, SequentialSemantics) {
+  TypeParam t;
+  std::set<Key> ref;
+  Xoshiro256 rng(77);
+  for (int i = 0; i < 8000; ++i) {
+    const Key k = static_cast<Key>(rng.below(300));
+    switch (rng.below(4)) {
+      case 0:
+        ASSERT_EQ(t.insert(k), ref.insert(k).second);
+        break;
+      case 1:
+        ASSERT_EQ(t.erase(k), ref.erase(k) > 0);
+        break;
+      case 2:
+        ASSERT_EQ(t.contains(k), ref.count(k) > 0);
+        break;
+      default:
+        ASSERT_EQ(t.rank(k), static_cast<std::int64_t>(std::distance(
+                                 ref.begin(), ref.upper_bound(k))));
+    }
+  }
+  ASSERT_EQ(t.size(), static_cast<std::int64_t>(ref.size()));
+}
+
+TYPED_TEST(BatVariant, ConcurrentDisjointRanges) {
+  TypeParam t;
+  constexpr int kThreads = 8;
+  constexpr Key kPer = 1200;
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> ts;
+  for (int i = 0; i < kThreads; ++i) {
+    ts.emplace_back([&, i] {
+      const Key base = i * kPer;
+      for (Key k = base; k < base + kPer; ++k) {
+        if (!t.insert(k)) failed = true;
+      }
+      for (Key k = base; k < base + kPer; k += 3) {
+        if (!t.erase(k)) failed = true;
+      }
+    });
+  }
+  for (auto& th : ts) th.join();
+  EXPECT_FALSE(failed.load());
+  std::int64_t expect = 0;
+  for (Key k = 0; k < kPer; ++k) {
+    if (k % 3 != 0) ++expect;
+  }
+  EXPECT_EQ(t.size(), expect * kThreads);
+  EbrGuard g;
+  EXPECT_TRUE(version_tree_valid<SizeAug>(t.root_version_unsafe(),
+                                          std::numeric_limits<Key>::min(),
+                                          kInf2));
+}
+
+// Heavy contention on a tiny key range: this is the regime where delegation
+// actually fires (many Propagates fighting over the same root path).
+TYPED_TEST(BatVariant, HighContentionTinyRange) {
+  TypeParam t;
+  constexpr int kThreads = 8;
+  std::vector<std::thread> ts;
+  for (int i = 0; i < kThreads; ++i) {
+    ts.emplace_back([&, i] {
+      Xoshiro256 rng(9000 + i);
+      for (int op = 0; op < 6000; ++op) {
+        const Key k = static_cast<Key>(rng.below(8));
+        if (rng.below(2) == 0) {
+          t.insert(k);
+        } else {
+          t.erase(k);
+        }
+      }
+    });
+  }
+  for (auto& th : ts) th.join();
+  // Quiescent consistency: node tree and version tree agree exactly.
+  std::set<Key> node_keys;
+  for (Key k = 0; k < 8; ++k) {
+    if (t.node_tree().contains(k)) node_keys.insert(k);
+  }
+  const auto vkeys = t.range_collect(0, 8);
+  EXPECT_EQ(std::set<Key>(vkeys.begin(), vkeys.end()), node_keys);
+  EXPECT_EQ(t.size(), static_cast<std::int64_t>(node_keys.size()));
+}
+
+// Snapshot consistency under concurrent churn, per variant.
+TYPED_TEST(BatVariant, SnapshotConsistencyUnderChurn) {
+  TypeParam t;
+  for (Key k = 0; k < 1000; k += 2) t.insert(k);
+  std::atomic<bool> stop{false};
+  std::atomic<long> bad{0};
+  std::vector<std::thread> updaters;
+  for (int i = 0; i < 3; ++i) {
+    updaters.emplace_back([&, i] {
+      Xoshiro256 rng(i);
+      while (!stop.load()) {
+        const Key k = static_cast<Key>(rng.below(500)) * 2 + 1;
+        if (rng.below(2) == 0) {
+          t.insert(k);
+        } else {
+          t.erase(k);
+        }
+      }
+    });
+  }
+  for (int q = 0; q < 1500; ++q) {
+    typename TypeParam::Snapshot snap(t);
+    const auto n = snap.size();
+    if (snap.range_count(0, 999) != n) bad.fetch_add(1);
+    if (snap.rank(999) != n) bad.fetch_add(1);
+    if (!snap.contains(500)) bad.fetch_add(1);
+  }
+  stop = true;
+  for (auto& th : updaters) th.join();
+  EXPECT_EQ(bad.load(), 0);
+}
+
+TEST(Delegation, DelegationsActuallyHappenUnderContention) {
+  Counters::reset();
+  BatEagerDel<SizeAug> t;
+  constexpr int kThreads = 8;
+  std::vector<std::thread> ts;
+  for (int i = 0; i < kThreads; ++i) {
+    ts.emplace_back([&, i] {
+      Xoshiro256 rng(i);
+      for (int op = 0; op < 8000; ++op) {
+        const Key k = static_cast<Key>(rng.below(64));
+        if (rng.below(2) == 0) {
+          t.insert(k);
+        } else {
+          t.erase(k);
+        }
+      }
+    });
+  }
+  for (auto& th : ts) th.join();
+  const auto snap = Counters::snapshot();
+  // With 8 threads hammering 64 keys there must be refresh conflicts, and
+  // EagerDel delegates on the first conflict.
+  EXPECT_GT(snap[Counter::kDelegations], 0u)
+      << "contention did not trigger delegation";
+  Counters::reset();
+}
+
+TEST(Delegation, TinyTimeoutStillCorrect) {
+  // Force timeouts to fire constantly: the non-blocking fallback (resume
+  // propagating yourself) must preserve correctness.
+  BatDel<SizeAug>::set_delegation_timeout(8);
+  BatEagerDel<SizeAug>::set_delegation_timeout(8);
+  {
+    BatEagerDel<SizeAug> t;
+    constexpr int kThreads = 6;
+    std::vector<std::thread> ts;
+    std::atomic<bool> failed{false};
+    for (int i = 0; i < kThreads; ++i) {
+      ts.emplace_back([&, i] {
+        const Key base = i * 500;
+        for (Key k = base; k < base + 500; ++k) {
+          if (!t.insert(k)) failed = true;
+        }
+      });
+    }
+    for (auto& th : ts) th.join();
+    EXPECT_FALSE(failed.load());
+    EXPECT_EQ(t.size(), kThreads * 500);
+  }
+  BatDel<SizeAug>::set_delegation_timeout(1u << 16);
+  BatEagerDel<SizeAug>::set_delegation_timeout(1u << 16);
+}
+
+TEST(Delegation, BlockingModeCompletes) {
+  // Timeout disabled: pure blocking delegation as in the paper's Fig. 13/14.
+  BatEagerDel<SizeAug>::set_delegation_timeout(0);
+  {
+    BatEagerDel<SizeAug> t;
+    constexpr int kThreads = 4;
+    std::vector<std::thread> ts;
+    for (int i = 0; i < kThreads; ++i) {
+      ts.emplace_back([&, i] {
+        Xoshiro256 rng(i);
+        for (int op = 0; op < 4000; ++op) {
+          const Key k = static_cast<Key>(rng.below(32));
+          if (rng.below(2) == 0) {
+            t.insert(k);
+          } else {
+            t.erase(k);
+          }
+        }
+      });
+    }
+    for (auto& th : ts) th.join();
+    EbrGuard g;
+    EXPECT_TRUE(version_tree_valid<SizeAug>(t.root_version_unsafe(),
+                                            std::numeric_limits<Key>::min(),
+                                            kInf2));
+  }
+  BatEagerDel<SizeAug>::set_delegation_timeout(1u << 16);
+}
+
+}  // namespace
+}  // namespace cbat

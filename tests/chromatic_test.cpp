@@ -1,0 +1,260 @@
+// Tests for the lock-free chromatic tree (plain, unaugmented).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <random>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "chromatic/chromatic_set.h"
+#include "util/random.h"
+
+namespace cbat {
+namespace {
+
+TEST(Chromatic, EmptyTree) {
+  ChromaticSet s;
+  EXPECT_FALSE(s.contains(5));
+  EXPECT_EQ(s.size_slow(), 0u);
+  EXPECT_FALSE(s.erase(5));
+  auto r = s.check_invariants();
+  EXPECT_TRUE(r.balanced_clean());
+}
+
+TEST(Chromatic, InsertFindEraseSingle) {
+  ChromaticSet s;
+  EXPECT_TRUE(s.insert(42));
+  EXPECT_TRUE(s.contains(42));
+  EXPECT_FALSE(s.insert(42));
+  EXPECT_EQ(s.size_slow(), 1u);
+  EXPECT_TRUE(s.erase(42));
+  EXPECT_FALSE(s.contains(42));
+  EXPECT_FALSE(s.erase(42));
+  EXPECT_EQ(s.size_slow(), 0u);
+  EXPECT_TRUE(s.check_invariants().balanced_clean());
+}
+
+TEST(Chromatic, InsertEraseReinsertCycles) {
+  ChromaticSet s;
+  for (int round = 0; round < 10; ++round) {
+    for (Key k = 0; k < 50; ++k) ASSERT_TRUE(s.insert(k));
+    EXPECT_EQ(s.size_slow(), 50u);
+    for (Key k = 0; k < 50; ++k) ASSERT_TRUE(s.erase(k));
+    EXPECT_EQ(s.size_slow(), 0u);
+    ASSERT_TRUE(s.check_invariants().structurally_ok());
+  }
+}
+
+TEST(Chromatic, MatchesStdSetSequential) {
+  ChromaticSet s;
+  std::set<Key> ref;
+  Xoshiro256 rng(123);
+  for (int i = 0; i < 20000; ++i) {
+    const Key k = static_cast<Key>(rng.below(500));
+    const int op = static_cast<int>(rng.below(3));
+    if (op == 0) {
+      EXPECT_EQ(s.insert(k), ref.insert(k).second) << "insert " << k;
+    } else if (op == 1) {
+      EXPECT_EQ(s.erase(k), ref.erase(k) > 0) << "erase " << k;
+    } else {
+      EXPECT_EQ(s.contains(k), ref.count(k) > 0) << "contains " << k;
+    }
+  }
+  EXPECT_EQ(s.size_slow(), ref.size());
+  EXPECT_TRUE(s.check_invariants().structurally_ok());
+}
+
+TEST(Chromatic, SortedInsertionStaysBalanced) {
+  // The whole reason the paper builds on a *balanced* tree: sorted inserts
+  // must yield logarithmic height, not a path.
+  ChromaticSet s;
+  constexpr Key kN = 8192;
+  for (Key k = 0; k < kN; ++k) ASSERT_TRUE(s.insert(k));
+  auto r = s.check_invariants();
+  EXPECT_TRUE(r.structurally_ok());
+  EXPECT_EQ(r.real_keys, static_cast<std::size_t>(kN));
+  // Perfect red-black height bound would be 2*log2(n+1) + O(1); allow slack
+  // for sentinels and weights.
+  EXPECT_LE(r.height, 2 * 14 + 4);
+  // After quiescence every violation created by our own updates was fixed
+  // by fix_to_key before the update returned.
+  EXPECT_EQ(r.red_red_violations, 0u);
+  EXPECT_EQ(r.overweight_violations, 0u);
+}
+
+TEST(Chromatic, ReverseSortedInsertionStaysBalanced) {
+  ChromaticSet s;
+  constexpr Key kN = 8192;
+  for (Key k = kN; k > 0; --k) ASSERT_TRUE(s.insert(k));
+  auto r = s.check_invariants();
+  EXPECT_TRUE(r.structurally_ok());
+  EXPECT_LE(r.height, 2 * 14 + 4);
+  EXPECT_EQ(r.red_red_violations, 0u);
+  EXPECT_EQ(r.overweight_violations, 0u);
+}
+
+TEST(Chromatic, DeleteHeavyStaysBalancedAndClean) {
+  ChromaticSet s;
+  constexpr Key kN = 4096;
+  for (Key k = 0; k < kN; ++k) ASSERT_TRUE(s.insert(k));
+  // Delete three quarters.
+  for (Key k = 0; k < kN; ++k) {
+    if (k % 4 != 0) {
+      ASSERT_TRUE(s.erase(k));
+    }
+  }
+  auto r = s.check_invariants();
+  EXPECT_TRUE(r.structurally_ok());
+  EXPECT_EQ(r.real_keys, static_cast<std::size_t>(kN / 4));
+  EXPECT_EQ(r.red_red_violations, 0u);
+  EXPECT_EQ(r.overweight_violations, 0u);
+  EXPECT_LE(r.height, 2 * 12 + 4);
+}
+
+TEST(Chromatic, NegativeAndExtremeKeys) {
+  ChromaticSet s;
+  std::vector<Key> keys = {0, -1, 1, std::numeric_limits<Key>::min(),
+                           kMaxUserKey, -1000000, 1000000};
+  for (Key k : keys) ASSERT_TRUE(s.insert(k)) << k;
+  for (Key k : keys) EXPECT_TRUE(s.contains(k)) << k;
+  EXPECT_EQ(s.size_slow(), keys.size());
+  for (Key k : keys) ASSERT_TRUE(s.erase(k)) << k;
+  EXPECT_EQ(s.size_slow(), 0u);
+  EXPECT_TRUE(s.check_invariants().structurally_ok());
+}
+
+// --- concurrent tests ------------------------------------------------------
+
+// Threads operate on disjoint key ranges, so the final contents are exactly
+// predictable and every operation's return value is checkable.
+TEST(ChromaticConcurrent, DisjointRangesDeterministic) {
+  ChromaticSet s;
+  constexpr int kThreads = 8;
+  constexpr Key kPerThread = 2000;
+  std::vector<std::thread> ts;
+  std::atomic<bool> failed{false};
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&, t] {
+      const Key base = t * kPerThread;
+      for (Key k = base; k < base + kPerThread; ++k) {
+        if (!s.insert(k)) failed = true;
+      }
+      // erase the odd keys again
+      for (Key k = base + 1; k < base + kPerThread; k += 2) {
+        if (!s.erase(k)) failed = true;
+      }
+      for (Key k = base; k < base + kPerThread; k += 2) {
+        if (!s.contains(k)) failed = true;
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_FALSE(failed.load());
+  EXPECT_EQ(s.size_slow(), static_cast<std::size_t>(kThreads * kPerThread / 2));
+  auto r = s.check_invariants();
+  EXPECT_TRUE(r.structurally_ok());
+  EXPECT_EQ(r.red_red_violations, 0u);
+  EXPECT_EQ(r.overweight_violations, 0u);
+}
+
+// Random mixed workload on a shared key range; afterwards the tree must be
+// structurally sound and agree with a replay of the successful operations.
+TEST(ChromaticConcurrent, MixedWorkloadStructurallySound) {
+  ChromaticSet s;
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 20000;
+  constexpr Key kRange = 512;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&, t] {
+      Xoshiro256 rng(1000 + t);
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const Key k = static_cast<Key>(rng.below(kRange));
+        switch (rng.below(3)) {
+          case 0:
+            s.insert(k);
+            break;
+          case 1:
+            s.erase(k);
+            break;
+          default:
+            s.contains(k);
+        }
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  auto r = s.check_invariants();
+  EXPECT_TRUE(r.structurally_ok());
+  EXPECT_EQ(r.red_red_violations, 0u);
+  EXPECT_EQ(r.overweight_violations, 0u);
+  // Height must be logarithmic in the key range, not in the op count.
+  EXPECT_LE(r.height, 40);
+}
+
+// Insert/erase the *same* key from many threads: successes must alternate
+// (an insert can only succeed when absent), so per-key success counts obey
+// |inserts - erases| <= 1 and final membership matches the difference.
+TEST(ChromaticConcurrent, SameKeyInsertEraseLinearizable) {
+  ChromaticSet s;
+  constexpr int kThreads = 8;
+  constexpr int kOps = 4000;
+  std::atomic<long> ins{0}, del{0};
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&, t] {
+      Xoshiro256 rng(t);
+      for (int i = 0; i < kOps; ++i) {
+        if (rng.below(2) == 0) {
+          if (s.insert(77)) ins.fetch_add(1);
+        } else {
+          if (s.erase(77)) del.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  const long diff = ins.load() - del.load();
+  EXPECT_TRUE(diff == 0 || diff == 1) << "ins=" << ins << " del=" << del;
+  EXPECT_EQ(s.contains(77), diff == 1);
+  EXPECT_TRUE(s.check_invariants().structurally_ok());
+}
+
+// Parameterized stress: sweep thread counts and key ranges.
+class ChromaticStress
+    : public ::testing::TestWithParam<std::tuple<int, Key>> {};
+
+TEST_P(ChromaticStress, RandomOpsKeepInvariants) {
+  const int threads = std::get<0>(GetParam());
+  const Key range = std::get<1>(GetParam());
+  ChromaticSet s;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < threads; ++t) {
+    ts.emplace_back([&, t] {
+      Xoshiro256 rng(7777 + t);
+      for (int i = 0; i < 8000; ++i) {
+        const Key k = static_cast<Key>(rng.below(range));
+        if (rng.below(2) == 0) {
+          s.insert(k);
+        } else {
+          s.erase(k);
+        }
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  auto r = s.check_invariants();
+  EXPECT_TRUE(r.structurally_ok());
+  EXPECT_EQ(r.red_red_violations, 0u);
+  EXPECT_EQ(r.overweight_violations, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ChromaticStress,
+    ::testing::Combine(::testing::Values(2, 4, 8),
+                       ::testing::Values<Key>(16, 256, 65536)));
+
+}  // namespace
+}  // namespace cbat

@@ -1,0 +1,143 @@
+// Unit tests for the versioned-CAS substrate and the snapshot registry.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "reclamation/snapshot_registry.h"
+#include "vcasbst/vcas.h"
+
+namespace cbat {
+namespace {
+
+struct Obj {
+  int id;
+};
+
+TEST(VersionedPtr, ReadReturnsLatest) {
+  Obj a{1}, b{2};
+  VersionedPtr<Obj> p;
+  p.init(&a);
+  EXPECT_EQ(p.read(), &a);
+  EXPECT_TRUE(p.vcas(&a, &b));
+  EXPECT_EQ(p.read(), &b);
+  EXPECT_FALSE(p.vcas(&a, &b));  // expected mismatch
+  EXPECT_TRUE(p.vcas(&b, &b));   // no-op CAS succeeds
+}
+
+TEST(VersionedPtr, ReadAtSeesHistory) {
+  EbrGuard g;
+  Obj a{1}, b{2}, c{3};
+  VersionedPtr<Obj> p;
+  p.init(&a);
+  const auto t0 = VcasClock::take_snapshot();
+  // Snapshots must be announced (as SnapshotScope does) or truncation may
+  // legitimately discard the history they need.
+  SnapshotRegistry::Guard guard(t0);
+  ASSERT_TRUE(p.vcas(&a, &b));
+  const auto t1 = VcasClock::take_snapshot();
+  ASSERT_TRUE(p.vcas(&b, &c));
+  const auto t2 = VcasClock::take_snapshot();
+  EXPECT_EQ(p.read_at(t0), &a);
+  EXPECT_EQ(p.read_at(t1), &b);
+  EXPECT_EQ(p.read_at(t2), &c);
+  EXPECT_EQ(p.read(), &c);
+}
+
+TEST(VersionedPtr, SnapshotIsolationAcrossManyWrites) {
+  EbrGuard g;
+  std::vector<Obj> objs(50);
+  for (int i = 0; i < 50; ++i) objs[i].id = i;
+  VersionedPtr<Obj> p;
+  p.init(&objs[0]);
+  // Announce before writing: truncation must preserve everything at or
+  // after the oldest announced snapshot.
+  SnapshotRegistry::Guard guard(VcasClock::now());
+  std::vector<std::uint64_t> stamps;
+  for (int i = 1; i < 50; ++i) {
+    stamps.push_back(VcasClock::take_snapshot());
+    ASSERT_TRUE(p.vcas(&objs[i - 1], &objs[i]));
+  }
+  for (int i = 1; i < 50; ++i) {
+    EXPECT_EQ(p.read_at(stamps[i - 1])->id, i - 1);
+  }
+}
+
+TEST(VersionedPtr, TruncationKeepsAnnouncedSnapshots) {
+  EbrGuard g;
+  std::vector<Obj> objs(2000);
+  VersionedPtr<Obj> p;
+  p.init(&objs[0]);
+  // Announce, then tick: writes after the tick are stamped strictly later
+  // than t0, so the pinned snapshot keeps resolving to the initial value.
+  SnapshotRegistry::Guard guard(VcasClock::now());
+  const auto t0 = VcasClock::take_snapshot();
+  Obj* prev = &objs[0];
+  for (int i = 1; i < 2000; ++i) {
+    ASSERT_TRUE(p.vcas(prev, &objs[i]));  // each vcas attempts truncation
+    prev = &objs[i];
+  }
+  // The pinned snapshot must still resolve to the original object.
+  EXPECT_EQ(p.read_at(t0), &objs[0]);
+}
+
+TEST(VersionedPtr, ConcurrentCasLinearizable) {
+  // N threads CAS the pointer forward through a chain; every transition
+  // happens exactly once.
+  constexpr int kSteps = 20000;
+  std::vector<Obj> objs(kSteps + 1);
+  VersionedPtr<Obj> p;
+  p.init(&objs[0]);
+  std::atomic<int> successes{0};
+  std::vector<std::thread> ts;
+  for (int t = 0; t < 4; ++t) {
+    ts.emplace_back([&] {
+      while (true) {
+        EbrGuard g;
+        Obj* cur = p.read();
+        const int idx = static_cast<int>(cur - objs.data());
+        if (idx >= kSteps) return;
+        if (p.vcas(cur, &objs[idx + 1])) successes.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(successes.load(), kSteps);
+  EXPECT_EQ(p.read(), &objs[kSteps]);
+}
+
+TEST(SnapshotRegistry, MinActiveTracksGuards) {
+  const auto fallback = 1000000ULL;
+  {
+    SnapshotRegistry::Guard a(42);
+    EXPECT_LE(SnapshotRegistry::min_active(fallback), 42u);
+    {
+      SnapshotRegistry::Guard b(17);
+      EXPECT_LE(SnapshotRegistry::min_active(fallback), 17u);
+    }
+  }
+  // After both guards release, only other threads' announcements (none in
+  // this test) constrain the minimum.
+  EXPECT_EQ(SnapshotRegistry::min_active(fallback), fallback);
+}
+
+TEST(SnapshotRegistry, NestedGuardsRestorePrevious) {
+  SnapshotRegistry::Guard outer(100);
+  {
+    SnapshotRegistry::Guard inner(50);
+    EXPECT_LE(SnapshotRegistry::min_active(~0ULL), 50u);
+  }
+  EXPECT_EQ(SnapshotRegistry::min_active(~0ULL), 100u);
+}
+
+TEST(VcasClock, Monotonic) {
+  const auto a = VcasClock::now();
+  const auto b = VcasClock::take_snapshot();
+  const auto c = VcasClock::now();
+  EXPECT_LE(a, b);
+  EXPECT_LT(b, c);
+}
+
+}  // namespace
+}  // namespace cbat

@@ -1,0 +1,183 @@
+// Property tests for the version-tree query algorithms, run against a
+// std::set oracle over randomized BAT instances (parameterized sweeps over
+// set size and key density), plus targeted edge cases.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "core/bat_tree.h"
+#include "util/random.h"
+
+namespace cbat {
+namespace {
+
+class QueryProperty
+    : public ::testing::TestWithParam<std::tuple<int, Key, int>> {
+ protected:
+  // Builds a BAT and a reference set with the parameterized shape.
+  void build(Bat<SizeAug>* t, std::set<Key>* ref) {
+    const int inserts = std::get<0>(GetParam());
+    const Key range = std::get<1>(GetParam());
+    const int erases = std::get<2>(GetParam());
+    Xoshiro256 rng(static_cast<std::uint64_t>(inserts) * 31 + range);
+    for (int i = 0; i < inserts; ++i) {
+      const Key k = static_cast<Key>(rng.below(range));
+      t->insert(k);
+      ref->insert(k);
+    }
+    for (int i = 0; i < erases; ++i) {
+      const Key k = static_cast<Key>(rng.below(range));
+      t->erase(k);
+      ref->erase(k);
+    }
+  }
+};
+
+TEST_P(QueryProperty, RankAgreesWithOracleEverywhere) {
+  Bat<SizeAug> t;
+  std::set<Key> ref;
+  build(&t, &ref);
+  const Key range = std::get<1>(GetParam());
+  for (Key k = -2; k <= range + 2; k += std::max<Key>(1, range / 97)) {
+    ASSERT_EQ(t.rank(k), static_cast<std::int64_t>(std::distance(
+                             ref.begin(), ref.upper_bound(k))))
+        << "rank(" << k << ")";
+  }
+}
+
+TEST_P(QueryProperty, SelectIsInverseOfRank) {
+  Bat<SizeAug> t;
+  std::set<Key> ref;
+  build(&t, &ref);
+  const auto n = t.size();
+  ASSERT_EQ(n, static_cast<std::int64_t>(ref.size()));
+  std::vector<Key> sorted(ref.begin(), ref.end());
+  for (std::int64_t i = 1; i <= n; i += std::max<std::int64_t>(1, n / 53)) {
+    const auto k = t.select(i);
+    ASSERT_TRUE(k.has_value());
+    EXPECT_EQ(*k, sorted[i - 1]);
+    EXPECT_EQ(t.rank(*k), i);
+  }
+  EXPECT_EQ(t.select(0), std::nullopt);
+  EXPECT_EQ(t.select(n + 1), std::nullopt);
+}
+
+TEST_P(QueryProperty, RangeCountMatchesAggregateAndOracle) {
+  Bat<SizeAug> t;
+  std::set<Key> ref;
+  build(&t, &ref);
+  const Key range = std::get<1>(GetParam());
+  Xoshiro256 rng(4242);
+  for (int i = 0; i < 50; ++i) {
+    Key lo = static_cast<Key>(rng.below(range));
+    Key hi = static_cast<Key>(rng.below(range));
+    if (lo > hi) std::swap(lo, hi);
+    const auto want = static_cast<std::int64_t>(
+        std::distance(ref.lower_bound(lo), ref.upper_bound(hi)));
+    ASSERT_EQ(t.range_count(lo, hi), want);
+    ASSERT_EQ(t.range_aggregate(lo, hi), want);  // SizeAug: same number
+    const auto collected = t.range_collect(lo, hi);
+    ASSERT_EQ(static_cast<std::int64_t>(collected.size()), want);
+    ASSERT_TRUE(std::is_sorted(collected.begin(), collected.end()));
+  }
+}
+
+TEST_P(QueryProperty, FloorCeilingAgreeWithOracle) {
+  Bat<SizeAug> t;
+  std::set<Key> ref;
+  build(&t, &ref);
+  const Key range = std::get<1>(GetParam());
+  Xoshiro256 rng(77);
+  for (int i = 0; i < 200; ++i) {
+    const Key k = static_cast<Key>(rng.below(range + 10)) - 5;
+    // floor = largest <= k
+    std::optional<Key> want_floor;
+    auto it = ref.upper_bound(k);
+    if (it != ref.begin()) want_floor = *std::prev(it);
+    ASSERT_EQ(t.floor(k), want_floor) << "floor(" << k << ")";
+    // ceiling = smallest >= k
+    std::optional<Key> want_ceil;
+    auto jt = ref.lower_bound(k);
+    if (jt != ref.end()) want_ceil = *jt;
+    ASSERT_EQ(t.ceiling(k), want_ceil) << "ceiling(" << k << ")";
+  }
+}
+
+TEST_P(QueryProperty, SelectInRangeMatchesOracle) {
+  Bat<SizeAug> t;
+  std::set<Key> ref;
+  build(&t, &ref);
+  const Key range = std::get<1>(GetParam());
+  Xoshiro256 rng(99);
+  for (int i = 0; i < 50; ++i) {
+    Key lo = static_cast<Key>(rng.below(range));
+    Key hi = static_cast<Key>(rng.below(range));
+    if (lo > hi) std::swap(lo, hi);
+    std::vector<Key> in_range(ref.lower_bound(lo), ref.upper_bound(hi));
+    for (std::int64_t j :
+         {std::int64_t{1}, static_cast<std::int64_t>(in_range.size() / 2),
+          static_cast<std::int64_t>(in_range.size())}) {
+      if (j < 1) continue;
+      const auto got = t.select_in_range(lo, hi, j);
+      if (j <= static_cast<std::int64_t>(in_range.size())) {
+        ASSERT_EQ(got, std::make_optional(in_range[j - 1]));
+      } else {
+        ASSERT_EQ(got, std::nullopt);
+      }
+    }
+    ASSERT_EQ(
+        t.select_in_range(lo, hi,
+                          static_cast<std::int64_t>(in_range.size()) + 1),
+        std::nullopt);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, QueryProperty,
+    ::testing::Combine(
+        /*inserts=*/::testing::Values(0, 1, 64, 2000),
+        /*key range=*/::testing::Values<Key>(8, 1000, 1000000),
+        /*erases=*/::testing::Values(0, 500)));
+
+TEST(QueryEdge, SingleElement) {
+  Bat<SizeAug> t;
+  t.insert(42);
+  EXPECT_EQ(t.floor(41), std::nullopt);
+  EXPECT_EQ(t.floor(42), std::make_optional<Key>(42));
+  EXPECT_EQ(t.floor(1000), std::make_optional<Key>(42));
+  EXPECT_EQ(t.ceiling(43), std::nullopt);
+  EXPECT_EQ(t.ceiling(42), std::make_optional<Key>(42));
+  EXPECT_EQ(t.ceiling(-5), std::make_optional<Key>(42));
+  EXPECT_EQ(t.select_in_range(0, 100, 1), std::make_optional<Key>(42));
+  EXPECT_EQ(t.select_in_range(43, 100, 1), std::nullopt);
+}
+
+TEST(QueryEdge, ExtremeKeys) {
+  Bat<SizeAug> t;
+  t.insert(std::numeric_limits<Key>::min());
+  t.insert(kMaxUserKey);
+  EXPECT_EQ(t.rank(kMaxUserKey), 2);
+  EXPECT_EQ(t.floor(kMaxUserKey), std::make_optional(kMaxUserKey));
+  EXPECT_EQ(t.ceiling(kMaxUserKey), std::make_optional(kMaxUserKey));
+  EXPECT_EQ(t.ceiling(std::numeric_limits<Key>::min()),
+            std::make_optional(std::numeric_limits<Key>::min()));
+  EXPECT_EQ(t.range_count(std::numeric_limits<Key>::min(), kMaxUserKey), 2);
+}
+
+TEST(QueryEdge, SnapshotFloorCeilingStable) {
+  Bat<SizeAug> t;
+  for (Key k = 0; k < 100; k += 10) t.insert(k);
+  EbrGuard g;
+  const auto* v = t.root_version_unsafe();
+  t.erase(50);
+  t.insert(55);
+  // The captured version tree still answers as of the capture.
+  EXPECT_EQ(version_floor<SizeAug>(v, 54), std::make_optional<Key>(50));
+  EXPECT_EQ(version_ceiling<SizeAug>(v, 51), std::make_optional<Key>(60));
+}
+
+}  // namespace
+}  // namespace cbat
