@@ -3,6 +3,7 @@
 // Build & run:  ./build/examples/quickstart
 #include <cstdio>
 
+#include "api/ordered_set.h"
 #include "core/bat_tree.h"
 
 int main() {
@@ -47,5 +48,19 @@ int main() {
     std::printf(" %lld", static_cast<long long>(k));
   }
   std::printf("\n");
+
+  // The same structure through the unified API layer: every tree in the
+  // repository registers itself in the StructureRegistry under the name the
+  // paper's figures use, behind one type-erased interface.  This is how the
+  // benchmarks and cross-structure tests stay structure-agnostic.
+  auto& registry = cbat::api::StructureRegistry::instance();
+  std::printf("registered structures:");
+  for (const auto& name : registry.names()) std::printf(" %s", name.c_str());
+  std::printf("\n");
+  auto erased = registry.create("BAT-EagerDel");
+  for (cbat::Key k : {3, 1, 2}) erased->insert(k);
+  std::printf("via registry: %s has %lld keys, rank(2)=%lld\n",
+              erased->name().c_str(), static_cast<long long>(erased->size()),
+              static_cast<long long>(erased->rank(2)));
   return 0;
 }

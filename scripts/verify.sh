@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure, build everything, run the full ctest
+# suite.  Exits nonzero on the first failure.
+#
+#   scripts/verify.sh            # full suite
+#   scripts/verify.sh --unit     # fast unit tests only (ctest -L unit)
+#
+# The label split mirrors CMakeLists.txt: "unit" tests are fast
+# single-structure tests, "integration" tests cross structures or run
+# multi-second stress loops.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+LABEL_ARGS=()
+if [[ "${1:-}" == "--unit" ]]; then
+  LABEL_ARGS=(-L unit)
+  shift
+fi
+
+cmake -B build -S .
+cmake --build build -j
+# Note: a bare `ctest -j` would swallow the next argument as its value.
+ctest --test-dir build --output-on-failure -j "$(nproc)" "${LABEL_ARGS[@]}" "$@"

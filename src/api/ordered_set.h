@@ -1,0 +1,167 @@
+// Unified ordered-set API layer.
+//
+// Every structure in the repository — the three BAT variants, the FR-BST,
+// and the three baselines — implements the same abstract set-with-order-
+// statistics interface.  This header pins that contract down twice:
+//
+//   * statically, as the C++20 concepts `OrderedSet` and `RankedSet`, which
+//     the registry enforces at registration time (a structure that drifts
+//     from the contract stops compiling, not stops agreeing at runtime);
+//   * dynamically, as `AbstractOrderedSet`, the type-erased interface the
+//     benchmark driver and the integration tests program against (the role
+//     SetBench's abstract set plays for the paper).
+//
+// `StructureRegistry` maps the structure names used by the paper's figures
+// ("BAT-EagerDel", "FR-BST", ...) to factories.  Adding a new structure to
+// every benchmark and cross-structure test is one `register_type` call; see
+// README.md.
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/keys.h"
+
+namespace cbat::api {
+
+// Minimal mutable ordered-set contract: membership plus an exact size.
+template <class S>
+concept OrderedSet = requires(S s, const S cs, Key k) {
+  { s.insert(k) } -> std::same_as<bool>;
+  { s.erase(k) } -> std::same_as<bool>;
+  { cs.contains(k) } -> std::same_as<bool>;
+  { cs.size() } -> std::convertible_to<std::int64_t>;
+};
+
+// Order-statistic extension (paper §1.1): rank, select, and range count.
+// The augmented trees answer these in O(log n) from one snapshot; the
+// baselines answer them by traversing a snapshot, as the paper prescribes.
+template <class S>
+concept RankedSet = OrderedSet<S> &&
+    requires(const S cs, Key k, std::int64_t i) {
+      { cs.range_count(k, k) } -> std::convertible_to<std::int64_t>;
+      { cs.rank(k) } -> std::convertible_to<std::int64_t>;
+      { cs.select(i) } -> std::convertible_to<std::optional<Key>>;
+    };
+
+// Type-erased view of a registered structure.  All operations are
+// linearizable and safe to call from any number of threads.
+class AbstractOrderedSet {
+ public:
+  virtual ~AbstractOrderedSet() = default;
+
+  virtual bool insert(Key k) = 0;
+  virtual bool erase(Key k) = 0;
+  virtual bool contains(Key k) = 0;
+  virtual std::int64_t size() = 0;
+
+  // Order statistics.  Meaningful only when supports_order_statistics();
+  // structures registered without them (the plain chromatic set) answer
+  // range_count/rank with 0 and select_query with kInf2.
+  virtual bool supports_order_statistics() const = 0;
+  virtual std::int64_t range_count(Key lo, Key hi) = 0;
+  virtual std::int64_t rank(Key k) = 0;
+  virtual Key select_query(std::int64_t i) = 0;
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+ private:
+  std::string name_;
+};
+
+// Bridges a concrete structure type into AbstractOrderedSet.  The concept
+// split is resolved here, at compile time: RankedSet types get real order
+// statistics, plain OrderedSet types get the documented fallbacks.
+template <OrderedSet T>
+class SetModel final : public AbstractOrderedSet {
+ public:
+  bool insert(Key k) override { return t_.insert(k); }
+  bool erase(Key k) override { return t_.erase(k); }
+  bool contains(Key k) override { return t_.contains(k); }
+  std::int64_t size() override { return t_.size(); }
+
+  bool supports_order_statistics() const override { return RankedSet<T>; }
+  std::int64_t range_count(Key lo, Key hi) override {
+    if constexpr (RankedSet<T>) return t_.range_count(lo, hi);
+    return 0;
+  }
+  std::int64_t rank(Key k) override {
+    if constexpr (RankedSet<T>) return t_.rank(k);
+    return 0;
+  }
+  Key select_query(std::int64_t i) override {
+    if constexpr (RankedSet<T>) return t_.select(i).value_or(0);
+    return kInf2;
+  }
+
+  T& tree() { return t_; }
+
+ private:
+  T t_;
+};
+
+// Name -> factory map for every structure in the repository.  The builtin
+// structures (the eight names the paper's figures use) are registered the
+// first time instance() runs; user structures can be added at any point.
+class StructureRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<AbstractOrderedSet>()>;
+
+  struct Entry {
+    Factory factory;
+    bool ranked = false;       // satisfies RankedSet (order statistics)
+    bool in_comparison = false;  // member of the Figures 6-9 comparison set
+    int order = 0;             // registration order; fixes plot ordering
+  };
+
+  static StructureRegistry& instance();
+
+  // Registers `name`; replaces any previous registration of the same name
+  // (tests use this to shadow a builtin with an instrumented double).
+  void register_structure(std::string name, Entry entry);
+
+  // Registers a concrete type under `name`.  The concept check happens
+  // here: T must at least be an OrderedSet, and `ranked` is derived from
+  // the type rather than trusted from the caller.
+  template <OrderedSet T>
+  void register_type(const std::string& name, bool in_comparison = false) {
+    Entry e;
+    e.factory = [name] {
+      auto s = std::make_unique<SetModel<T>>();
+      s->set_name(name);
+      return std::unique_ptr<AbstractOrderedSet>(std::move(s));
+    };
+    e.ranked = RankedSet<T>;
+    e.in_comparison = in_comparison;
+    register_structure(name, std::move(e));
+  }
+
+  // Instantiates `name`, or returns nullptr if it is not registered.
+  std::unique_ptr<AbstractOrderedSet> create(const std::string& name) const;
+
+  bool contains(const std::string& name) const;
+  bool is_ranked(const std::string& name) const;
+
+  // All registered names, sorted.
+  std::vector<std::string> names() const;
+
+  // The cross-structure comparison set used by Figures 6-9 (the paper
+  // plots BAT-EagerDel, its best variant, against the four baselines;
+  // Figures 5 and 10 additionally include the other BAT variants).
+  std::vector<std::string> comparison_set() const;
+
+ private:
+  StructureRegistry();  // registers the builtin structures
+
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace cbat::api

@@ -1,0 +1,104 @@
+#include "api/ordered_set.h"
+
+#include <algorithm>
+#include <mutex>
+
+#include "btree/verbtree.h"
+#include "bundled/bundled_tree.h"
+#include "chromatic/chromatic_set.h"
+#include "core/bat_tree.h"
+#include "frbst/frbst.h"
+#include "vcasbst/vcas_bst.h"
+
+namespace cbat::api {
+
+// The registry is the single place the whole-repository contract is
+// enforced; a structure that stops satisfying its concept fails right here.
+static_assert(RankedSet<Bat<SizeAug>>);
+static_assert(RankedSet<BatDel<SizeAug>>);
+static_assert(RankedSet<BatEagerDel<SizeAug>>);
+static_assert(RankedSet<FrBst<SizeAug>>);
+static_assert(RankedSet<VcasBst>);
+static_assert(RankedSet<VerBTree>);
+static_assert(RankedSet<BundledTree>);
+static_assert(OrderedSet<ChromaticSet> && !RankedSet<ChromaticSet>);
+
+namespace {
+std::mutex& registry_mutex() {
+  static std::mutex mu;
+  return mu;
+}
+}  // namespace
+
+StructureRegistry& StructureRegistry::instance() {
+  static StructureRegistry r;
+  return r;
+}
+
+StructureRegistry::StructureRegistry() {
+  // The eight names used throughout the paper's figures and tables.
+  register_type<Bat<SizeAug>>("BAT", /*in_comparison=*/false);
+  register_type<BatDel<SizeAug>>("BAT-Del", /*in_comparison=*/false);
+  register_type<BatEagerDel<SizeAug>>("BAT-EagerDel", /*in_comparison=*/true);
+  register_type<FrBst<SizeAug>>("FR-BST", /*in_comparison=*/true);
+  register_type<VcasBst>("VcasBST", /*in_comparison=*/true);
+  register_type<VerBTree>("VerlibBTree", /*in_comparison=*/true);
+  register_type<BundledTree>("BundledCitrusTree", /*in_comparison=*/true);
+  register_type<ChromaticSet>("ChromaticSet", /*in_comparison=*/false);
+}
+
+void StructureRegistry::register_structure(std::string name, Entry entry) {
+  std::lock_guard<std::mutex> g(registry_mutex());
+  static int next_order = 0;
+  // Re-registering a name (tests shadowing a builtin with an instrumented
+  // double) keeps its position so figure series ordering stays stable.
+  const auto it = entries_.find(name);
+  entry.order = it != entries_.end() ? it->second.order : next_order++;
+  entries_[std::move(name)] = std::move(entry);
+}
+
+std::unique_ptr<AbstractOrderedSet> StructureRegistry::create(
+    const std::string& name) const {
+  Factory f;
+  {
+    std::lock_guard<std::mutex> g(registry_mutex());
+    const auto it = entries_.find(name);
+    if (it == entries_.end()) return nullptr;
+    f = it->second.factory;
+  }
+  return f();
+}
+
+bool StructureRegistry::contains(const std::string& name) const {
+  std::lock_guard<std::mutex> g(registry_mutex());
+  return entries_.count(name) > 0;
+}
+
+bool StructureRegistry::is_ranked(const std::string& name) const {
+  std::lock_guard<std::mutex> g(registry_mutex());
+  const auto it = entries_.find(name);
+  return it != entries_.end() && it->second.ranked;
+}
+
+std::vector<std::string> StructureRegistry::names() const {
+  std::lock_guard<std::mutex> g(registry_mutex());
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) out.push_back(name);
+  return out;
+}
+
+std::vector<std::string> StructureRegistry::comparison_set() const {
+  std::lock_guard<std::mutex> g(registry_mutex());
+  std::vector<std::pair<int, std::string>> picked;
+  for (const auto& [name, entry] : entries_) {
+    if (entry.in_comparison) picked.emplace_back(entry.order, name);
+  }
+  std::sort(picked.begin(), picked.end());
+  std::vector<std::string> out;
+  out.reserve(picked.size());
+  for (auto& [order, name] : picked) out.push_back(std::move(name));
+  return out;
+}
+
+}  // namespace cbat::api

@@ -1,6 +1,10 @@
 // Uniform set interface over every tree in the repository, used by the
 // benchmark driver.  The paper's SetBench plays the same role.
 //
+// The actual contract (concepts, type erasure, name -> factory map) lives
+// in src/api/ordered_set.h; this header keeps the benchmark-facing aliases
+// so driver code and tests read naturally.
+//
 // Unaugmented structures implement rank exactly the way the paper
 // prescribes for them: by brute-force traversal of a snapshot (their
 // range_count already is that traversal).
@@ -8,81 +12,29 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
-#include "btree/verbtree.h"
-#include "bundled/bundled_tree.h"
-#include "core/bat_tree.h"
-#include "frbst/frbst.h"
-#include "vcasbst/vcas_bst.h"
+#include "api/ordered_set.h"
 
 namespace cbat::bench {
 
-class SetAdapter {
- public:
-  virtual ~SetAdapter() = default;
-  virtual bool insert(Key k) = 0;
-  virtual bool erase(Key k) = 0;
-  virtual bool contains(Key k) = 0;
-  virtual std::int64_t range_count(Key lo, Key hi) = 0;
-  virtual std::int64_t rank(Key k) = 0;
-  virtual Key select_query(std::int64_t i) = 0;
-  virtual std::int64_t size() = 0;
-  virtual const std::string& name() const = 0;
-};
+using SetAdapter = api::AbstractOrderedSet;
 
-template <class T>
-class AdapterFor final : public SetAdapter {
- public:
-  explicit AdapterFor(std::string name) : name_(std::move(name)) {}
-  bool insert(Key k) override { return t_.insert(k); }
-  bool erase(Key k) override { return t_.erase(k); }
-  bool contains(Key k) override { return t_.contains(k); }
-  std::int64_t range_count(Key lo, Key hi) override {
-    return t_.range_count(lo, hi);
-  }
-  std::int64_t rank(Key k) override { return t_.rank(k); }
-  Key select_query(std::int64_t i) override {
-    return t_.select(i).value_or(0);
-  }
-  std::int64_t size() override { return t_.size(); }
-  const std::string& name() const override { return name_; }
-  T& tree() { return t_; }
-
- private:
-  T t_;
-  std::string name_;
-};
-
-// Factory keyed by the names used throughout the paper's figures.
+// Instantiates one of the structure names used throughout the paper's
+// figures ("BAT", "BAT-Del", "BAT-EagerDel", "FR-BST", "VcasBST",
+// "VerlibBTree", "BundledCitrusTree", "ChromaticSet"), or any structure
+// registered later through StructureRegistry.  Returns nullptr for
+// unknown names.
 inline std::unique_ptr<SetAdapter> make_structure(const std::string& name) {
-  if (name == "BAT") return std::make_unique<AdapterFor<Bat<SizeAug>>>(name);
-  if (name == "BAT-Del") {
-    return std::make_unique<AdapterFor<BatDel<SizeAug>>>(name);
-  }
-  if (name == "BAT-EagerDel") {
-    return std::make_unique<AdapterFor<BatEagerDel<SizeAug>>>(name);
-  }
-  if (name == "FR-BST") {
-    return std::make_unique<AdapterFor<FrBst<SizeAug>>>(name);
-  }
-  if (name == "VcasBST") return std::make_unique<AdapterFor<VcasBst>>(name);
-  if (name == "VerlibBTree") {
-    return std::make_unique<AdapterFor<VerBTree>>(name);
-  }
-  if (name == "BundledCitrusTree") {
-    return std::make_unique<AdapterFor<BundledTree>>(name);
-  }
-  return nullptr;
+  return api::StructureRegistry::instance().create(name);
 }
 
 // The cross-structure comparison set used by Figures 6-9 (the paper plots
 // BAT-EagerDel, its best variant, against the four baselines; Figures 5
-// and 10 additionally include the other BAT variants).
-inline const std::vector<std::string>& all_structures() {
-  static const std::vector<std::string> v = {
-      "BAT-EagerDel", "FR-BST",           "VcasBST",
-      "VerlibBTree",  "BundledCitrusTree"};
-  return v;
+// and 10 additionally include the other BAT variants).  Computed fresh so
+// structures registered or replaced after startup are reflected.
+inline std::vector<std::string> all_structures() {
+  return api::StructureRegistry::instance().comparison_set();
 }
 
 }  // namespace cbat::bench

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <thread>
 #include <vector>
 
@@ -120,6 +121,12 @@ void worker(SetAdapter& set, const RunConfig& cfg, int tid,
 }  // namespace
 
 RunResult run_on(SetAdapter& set, const RunConfig& cfg) {
+  if (cfg.workload.query_pct > 0 && !set.supports_order_statistics()) {
+    std::fprintf(stderr,
+                 "warning: %s does not support order statistics; its query "
+                 "results in this run are the documented fallbacks\n",
+                 set.name().c_str());
+  }
   if (cfg.prefill) prefill(set, cfg.workload, cfg.threads, cfg.seed ^ 0xabcd);
 
   std::atomic<bool> stop{false};

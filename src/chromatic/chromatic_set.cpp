@@ -20,6 +20,11 @@ bool ChromaticSet::contains(Key k) const {
   return tree_.contains(k);
 }
 
+std::int64_t ChromaticSet::size() const {
+  EbrGuard g;
+  return static_cast<std::int64_t>(tree_.size_slow());
+}
+
 std::size_t ChromaticSet::size_slow() const { return tree_.size_slow(); }
 
 ChromaticTree<NoVersionPolicy>::InvariantReport ChromaticSet::check_invariants()

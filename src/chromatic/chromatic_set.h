@@ -18,6 +18,9 @@ class ChromaticSet {
   bool erase(Key k);
   bool contains(Key k) const;
 
+  // Theta(n) traversal under an EBR guard; satisfies api::OrderedSet.
+  std::int64_t size() const;
+
   std::size_t size_slow() const;
   ChromaticTree<NoVersionPolicy>::InvariantReport check_invariants() const;
   ChromaticTree<NoVersionPolicy>& tree() { return tree_; }

@@ -46,12 +46,17 @@ struct SizeAug {
   static std::int64_t size_of(Value v) { return v; }
 };
 
-// Sum of keys: an aggregation query ("sum of values", §1).
+// Sum of keys: an aggregation query ("sum of values", §1).  Sums wrap
+// modulo 2^64 (combine must stay total and associative for every key
+// distribution; signed overflow would be UB).
 struct KeySumAug {
   using Value = std::int64_t;
   static Value leaf(Key k) { return k; }
   static Value sentinel() { return 0; }
-  static Value combine(Value l, Value r) { return l + r; }
+  static Value combine(Value l, Value r) {
+    return static_cast<Value>(static_cast<std::uint64_t>(l) +
+                              static_cast<std::uint64_t>(r));
+  }
 };
 
 // Min/max key in the subtree: a non-abelian-group augmentation, i.e. one

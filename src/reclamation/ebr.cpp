@@ -7,6 +7,17 @@ Ebr& Ebr::instance() {
   return ebr;
 }
 
+Ebr::~Ebr() {
+  // From here on, re-entrant retires (node -> final version, descriptor
+  // chains) free immediately inside Ebr::retire without touching the
+  // per-thread contexts or pool free lists — both already destroyed
+  // ([basic.start.term]) — so one sweep over the bags empties everything.
+  g_reclaim_shutdown.store(true, std::memory_order_relaxed);
+  for (auto& ctx : ctxs_) {
+    for (Bag& bag : ctx->bags) free_bag(bag);
+  }
+}
+
 void Ebr::enter() {
   Ctx& c = ctx();
   if (c.nesting++ > 0) return;

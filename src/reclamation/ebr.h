@@ -25,6 +25,12 @@
 
 namespace cbat {
 
+// Set once by ~Ebr.  After this, grace periods are moot (no thread can
+// start an operation), thread-local state — pool free lists, registry
+// slots — is already destroyed ([basic.start.term]), so retired objects
+// are freed immediately and pool deallocations bypass the free lists.
+inline std::atomic<bool> g_reclaim_shutdown{false};
+
 class Ebr {
  public:
   using Deleter = void (*)(void*);
@@ -32,7 +38,13 @@ class Ebr {
   static Ebr& instance();
 
   // Defers destruction of p until all currently-active operations finish.
-  static void retire(void* p, Deleter d) { instance().retire_impl(p, d); }
+  static void retire(void* p, Deleter d) {
+    if (g_reclaim_shutdown.load(std::memory_order_relaxed)) {
+      d(p);  // shutdown: free now; must not touch per-thread state
+      return;
+    }
+    instance().retire_impl(p, d);
+  }
 
   // Frees everything immediately.  Caller must guarantee quiescence (no
   // other thread inside a guard or calling retire).  Used by tests and by
@@ -62,6 +74,9 @@ class Ebr {
   };
 
   Ebr() = default;
+  // Frees everything still in limbo at process exit (deleters may retire
+  // more; iterates to fixpoint).  Runs after all worker threads have ended.
+  ~Ebr();
 
   void enter();
   void exit();

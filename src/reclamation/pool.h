@@ -15,6 +15,7 @@
 // placement-new without running destructors).
 #pragma once
 
+#include <atomic>
 #include <cstdlib>
 #include <new>
 #include <type_traits>
@@ -40,6 +41,11 @@ class Pool {
   }
 
   static void dealloc(void* p) {
+    if (g_reclaim_shutdown.load(std::memory_order_relaxed)) {
+      // The thread-local free lists are already destroyed during exit.
+      ::operator delete(p);
+      return;
+    }
     auto& f = free_list();
     if (f.slots.size() < kMaxFree) {
       f.slots.push_back(p);

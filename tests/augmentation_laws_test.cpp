@@ -1,0 +1,164 @@
+// Algebraic laws every augmentation policy must satisfy for the paper's
+// propagation scheme to be correct:
+//
+//   1. combine is associative — propagation may re-associate subtree
+//      aggregates in any order as rebalancing rotates internal nodes;
+//   2. sentinel() is a two-sided identity of combine — sentinel leaves
+//      must contribute nothing to any aggregate;
+//   3. for SizedAugmentations, size_of agrees with the number of leaves
+//      folded into the value, for every association order.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <random>
+#include <vector>
+
+#include "core/augmentations.h"
+#include "util/keys.h"
+
+namespace cbat {
+namespace {
+
+// Deterministic key sample: mixes small, adjacent, negative, and
+// near-sentinel keys so identity/associativity failures that depend on
+// magnitude or sign would surface.
+std::vector<Key> sample_keys() {
+  std::vector<Key> keys = {0, 1, 2, -1, -1000, 1000, 123456789,
+                           kMaxUserKey, kMaxUserKey - 1, -kMaxUserKey};
+  std::mt19937_64 rng(2026);
+  std::uniform_int_distribution<Key> d(-kMaxUserKey, kMaxUserKey);
+  for (int i = 0; i < 200; ++i) keys.push_back(d(rng));
+  return keys;
+}
+
+template <Augmentation Aug>
+void check_sentinel_identity() {
+  const auto id = Aug::sentinel();
+  for (Key k : sample_keys()) {
+    const auto v = Aug::leaf(k);
+    EXPECT_EQ(Aug::combine(id, v), v) << "left identity failed, key " << k;
+    EXPECT_EQ(Aug::combine(v, id), v) << "right identity failed, key " << k;
+  }
+  EXPECT_EQ(Aug::combine(id, id), id);
+}
+
+template <Augmentation Aug>
+void check_associativity() {
+  const auto keys = sample_keys();
+  for (std::size_t i = 0; i + 2 < keys.size(); ++i) {
+    const auto a = Aug::leaf(keys[i]);
+    const auto b = Aug::leaf(keys[i + 1]);
+    const auto c = Aug::leaf(keys[i + 2]);
+    EXPECT_EQ(Aug::combine(Aug::combine(a, b), c),
+              Aug::combine(a, Aug::combine(b, c)))
+        << "associativity failed at keys " << keys[i] << ", " << keys[i + 1]
+        << ", " << keys[i + 2];
+  }
+}
+
+// Folds the leaf values of `keys` left-to-right and in a balanced-tree
+// order; both must agree, and for sized augmentations both must report
+// exactly keys.size() leaves.
+template <Augmentation Aug>
+typename Aug::Value fold_left(const std::vector<Key>& keys) {
+  auto acc = Aug::sentinel();
+  for (Key k : keys) acc = Aug::combine(acc, Aug::leaf(k));
+  return acc;
+}
+
+template <Augmentation Aug>
+typename Aug::Value fold_balanced(const std::vector<Key>& keys,
+                                  std::size_t lo, std::size_t hi) {
+  if (lo == hi) return Aug::sentinel();
+  if (hi - lo == 1) return Aug::leaf(keys[lo]);
+  const std::size_t mid = lo + (hi - lo) / 2;
+  return Aug::combine(fold_balanced<Aug>(keys, lo, mid),
+                      fold_balanced<Aug>(keys, mid, hi));
+}
+
+template <Augmentation Aug>
+void check_fold_order_independence() {
+  const auto keys = sample_keys();
+  EXPECT_EQ(fold_left<Aug>(keys), fold_balanced<Aug>(keys, 0, keys.size()));
+}
+
+TEST(AugmentationLaws, SizeAugSentinelIdentity) {
+  check_sentinel_identity<SizeAug>();
+}
+TEST(AugmentationLaws, SizeAugAssociativity) { check_associativity<SizeAug>(); }
+TEST(AugmentationLaws, SizeAugFoldOrderIndependence) {
+  check_fold_order_independence<SizeAug>();
+}
+
+TEST(AugmentationLaws, KeySumSentinelIdentity) {
+  check_sentinel_identity<KeySumAug>();
+}
+TEST(AugmentationLaws, KeySumAssociativity) {
+  check_associativity<KeySumAug>();
+}
+TEST(AugmentationLaws, KeySumFoldOrderIndependence) {
+  check_fold_order_independence<KeySumAug>();
+}
+
+TEST(AugmentationLaws, MinMaxSentinelIdentity) {
+  check_sentinel_identity<MinMaxAug>();
+}
+TEST(AugmentationLaws, MinMaxAssociativity) {
+  check_associativity<MinMaxAug>();
+}
+TEST(AugmentationLaws, MinMaxFoldOrderIndependence) {
+  check_fold_order_independence<MinMaxAug>();
+}
+
+TEST(AugmentationLaws, PairAugSentinelIdentity) {
+  check_sentinel_identity<SizeSumAug>();
+  check_sentinel_identity<PairAug<SizeAug, MinMaxAug>>();
+}
+TEST(AugmentationLaws, PairAugAssociativity) {
+  check_associativity<SizeSumAug>();
+  check_associativity<PairAug<SizeAug, MinMaxAug>>();
+}
+TEST(AugmentationLaws, PairAugFoldOrderIndependence) {
+  check_fold_order_independence<SizeSumAug>();
+}
+
+// SizedAugmentation law: the size reported by size_of equals the number
+// of leaves combined into the value, regardless of association order.
+template <SizedAugmentation Aug>
+void check_size_consistency() {
+  const auto keys = sample_keys();
+  for (std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{2},
+                        std::size_t{7}, keys.size()}) {
+    std::vector<Key> prefix(keys.begin(), keys.begin() + n);
+    EXPECT_EQ(Aug::size_of(fold_left<Aug>(prefix)),
+              static_cast<std::int64_t>(n));
+    EXPECT_EQ(Aug::size_of(fold_balanced<Aug>(prefix, 0, n)),
+              static_cast<std::int64_t>(n));
+  }
+  EXPECT_EQ(Aug::size_of(Aug::sentinel()), 0);
+  EXPECT_EQ(Aug::size_of(Aug::leaf(42)), 1);
+}
+
+TEST(AugmentationLaws, SizeAugSizeConsistency) {
+  check_size_consistency<SizeAug>();
+}
+TEST(AugmentationLaws, PairAugSizeConsistency) {
+  check_size_consistency<SizeSumAug>();
+  check_size_consistency<PairAug<SizeAug, MinMaxAug>>();
+}
+
+// Concept sanity: the concepts themselves must classify the policies the
+// way the trees rely on (FR-BST/BAT gate rank/select on SizedAugmentation).
+static_assert(Augmentation<SizeAug>);
+static_assert(Augmentation<KeySumAug>);
+static_assert(Augmentation<MinMaxAug>);
+static_assert(Augmentation<SizeSumAug>);
+static_assert(SizedAugmentation<SizeAug>);
+static_assert(SizedAugmentation<SizeSumAug>);
+static_assert(!SizedAugmentation<KeySumAug>);
+static_assert(!SizedAugmentation<MinMaxAug>);
+static_assert(!SizedAugmentation<PairAug<KeySumAug, SizeAug>>);
+
+}  // namespace
+}  // namespace cbat

@@ -11,6 +11,8 @@
 #include <vector>
 
 #include "bench/adapters.h"
+#include "core/bat_tree.h"
+#include "frbst/frbst.h"
 #include "util/random.h"
 
 namespace cbat {

@@ -1,0 +1,136 @@
+// Tests for the unified ordered-set API layer (src/api/ordered_set.h):
+// concept classification, the structure registry, and the type-erased
+// adapter including its fallbacks for non-ranked structures.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "api/ordered_set.h"
+#include "bench/adapters.h"
+#include "chromatic/chromatic_set.h"
+#include "core/bat_tree.h"
+
+namespace cbat {
+namespace {
+
+using api::AbstractOrderedSet;
+using api::StructureRegistry;
+
+const char* kBuiltins[] = {"BAT",     "BAT-Del",     "BAT-EagerDel",
+                           "FR-BST",  "VcasBST",     "VerlibBTree",
+                           "BundledCitrusTree",      "ChromaticSet"};
+
+TEST(Registry, AllPaperStructureNamesResolve) {
+  auto& reg = StructureRegistry::instance();
+  for (const char* name : kBuiltins) {
+    EXPECT_TRUE(reg.contains(name)) << name;
+    auto set = reg.create(name);
+    ASSERT_NE(set, nullptr) << name;
+    EXPECT_EQ(set->name(), name);
+  }
+}
+
+TEST(Registry, UnknownNameReturnsNull) {
+  EXPECT_EQ(StructureRegistry::instance().create("nope"), nullptr);
+  EXPECT_FALSE(StructureRegistry::instance().contains("nope"));
+  EXPECT_EQ(bench::make_structure("nope"), nullptr);
+}
+
+TEST(Registry, RankednessIsDerivedFromTheType) {
+  auto& reg = StructureRegistry::instance();
+  for (const char* name : kBuiltins) {
+    EXPECT_EQ(reg.is_ranked(name), std::string(name) != "ChromaticSet")
+        << name;
+  }
+}
+
+TEST(Registry, ComparisonSetMatchesFigures6To9) {
+  const std::vector<std::string> want = {"BAT-EagerDel", "FR-BST", "VcasBST",
+                                         "VerlibBTree", "BundledCitrusTree"};
+  EXPECT_EQ(StructureRegistry::instance().comparison_set(), want);
+  EXPECT_EQ(bench::all_structures(), want);
+}
+
+TEST(Registry, NamesListsEveryBuiltin) {
+  const auto names = StructureRegistry::instance().names();
+  for (const char* name : kBuiltins) {
+    EXPECT_NE(std::find(names.begin(), names.end(), name), names.end())
+        << name;
+  }
+}
+
+TEST(Registry, MakeStructureGoesThroughRegistry) {
+  auto set = bench::make_structure("BAT");
+  ASSERT_NE(set, nullptr);
+  EXPECT_TRUE(set->insert(5));
+  EXPECT_TRUE(set->insert(9));
+  EXPECT_FALSE(set->insert(5));
+  EXPECT_TRUE(set->contains(9));
+  EXPECT_EQ(set->size(), 2);
+  EXPECT_EQ(set->rank(9), 2);
+  EXPECT_EQ(set->select_query(1), 5);
+  EXPECT_EQ(set->range_count(0, 100), 2);
+  EXPECT_TRUE(set->supports_order_statistics());
+}
+
+TEST(Registry, NonRankedStructureUsesDocumentedFallbacks) {
+  auto set = bench::make_structure("ChromaticSet");
+  ASSERT_NE(set, nullptr);
+  EXPECT_FALSE(set->supports_order_statistics());
+  EXPECT_TRUE(set->insert(1));
+  EXPECT_TRUE(set->insert(2));
+  EXPECT_EQ(set->size(), 2);
+  EXPECT_EQ(set->rank(2), 0);
+  EXPECT_EQ(set->range_count(0, 10), 0);
+  EXPECT_EQ(set->select_query(1), kInf2);
+}
+
+TEST(Registry, UserStructuresCanBeRegistered) {
+  // A std::set-backed reference structure is itself a valid RankedSet —
+  // registering it makes it available to the whole harness.
+  struct RefSet {
+    std::set<Key> s;
+    bool insert(Key k) { return s.insert(k).second; }
+    bool erase(Key k) { return s.erase(k) > 0; }
+    bool contains(Key k) const { return s.count(k) > 0; }
+    std::int64_t size() const { return static_cast<std::int64_t>(s.size()); }
+    std::int64_t rank(Key k) const {
+      return static_cast<std::int64_t>(
+          std::distance(s.begin(), s.upper_bound(k)));
+    }
+    std::optional<Key> select(std::int64_t i) const {
+      if (i < 1 || i > size()) return std::nullopt;
+      auto it = s.begin();
+      std::advance(it, i - 1);
+      return *it;
+    }
+    std::int64_t range_count(Key lo, Key hi) const {
+      return static_cast<std::int64_t>(
+          std::distance(s.lower_bound(lo), s.upper_bound(hi)));
+    }
+  };
+  static_assert(api::RankedSet<RefSet>);
+
+  auto& reg = StructureRegistry::instance();
+  reg.register_type<RefSet>("test-only-RefSet");
+  auto set = bench::make_structure("test-only-RefSet");
+  ASSERT_NE(set, nullptr);
+  EXPECT_TRUE(set->supports_order_statistics());
+  for (Key k = 0; k < 100; ++k) set->insert(k);
+  EXPECT_EQ(set->size(), 100);
+  EXPECT_EQ(set->rank(49), 50);
+  EXPECT_EQ(set->range_count(10, 19), 10);
+  // Not part of the comparison sweep unless opted in.
+  const auto cmp = reg.comparison_set();
+  EXPECT_EQ(std::find(cmp.begin(), cmp.end(), "test-only-RefSet"), cmp.end());
+}
+
+// The concept layer must agree with the adapter layer about each tree.
+static_assert(api::OrderedSet<Bat<SizeAug>>);
+static_assert(api::RankedSet<Bat<SizeAug>>);
+static_assert(api::OrderedSet<ChromaticSet>);
+static_assert(!api::RankedSet<ChromaticSet>);
+
+}  // namespace
+}  // namespace cbat
