@@ -1,0 +1,8 @@
+// Unified benchmark CLI: `cbat_bench --list` enumerates the paper's
+// scenarios; `--scenario NAME [--smoke|--full] [--json out.json]` runs
+// them.  See src/bench/scenarios.cpp for the scenario definitions.
+#include "bench/scenarios.h"
+
+int main(int argc, char** argv) {
+  return cbat::bench::scenario_main(argc, argv);
+}

@@ -1,46 +1,7 @@
-// Figure 10: throughput vs data-structure size (max key sweep) under the
-// high-update mixed workload with Zipfian (theta=0.95) keys (25-25-25-25,
-// RQ 50K, TT 120).  Includes plain BAT alongside BAT-EagerDel to show
-// delegation still helps under skew.
-#include "bench_common.h"
-
-using namespace cbat::bench;
+// Thin wrapper: keeps the paper-repro command line `fig10_size_scalability`
+// working.  The scenario lives in src/bench/scenarios.cpp ("fig10").
+#include "bench/scenarios.h"
 
 int main(int argc, char** argv) {
-  Args args(argc, argv);
-  const bool full = args.full_scale();
-  const long tt = default_fixed_threads(args);
-  const long rq = args.get_long("--rq", full ? 50000 : 5000);
-  const int ms = default_ms(args);
-  const auto maxkeys = args.get_list(
-      "--maxkey", full ? std::vector<long>{100000, 1000000, 10000000}
-                       : std::vector<long>{20000, 100000, 400000});
-
-  const std::vector<std::string> structures = {
-      "BAT",     "BAT-EagerDel", "FR-BST",
-      "VcasBST", "VerlibBTree",  "BundledCitrusTree"};
-
-  Table table("Figure 10: TT " + std::to_string(tt) + ", RQ " +
-                  std::to_string(rq) +
-                  ", 25-25-25-25, Zipfian 0.95 — throughput (ops/s)",
-              "max_key");
-  sweep_throughput(
-      table, structures, maxkeys,
-      [&](long mk) {
-        RunConfig cfg;
-        cfg.workload.insert_pct = 25;
-        cfg.workload.delete_pct = 25;
-        cfg.workload.find_pct = 25;
-        cfg.workload.query_pct = 25;
-        cfg.workload.query_kind = QueryKind::kRange;
-        cfg.workload.rq_size = std::min<long>(rq, mk / 4);
-        cfg.workload.max_key = mk;
-        cfg.workload.dist = KeyDist::kZipf;
-        cfg.workload.zipf_theta = 0.95;
-        cfg.threads = static_cast<int>(tt);
-        cfg.duration_ms = ms;
-        return cfg;
-      },
-      args.csv());
-  return 0;
+  return cbat::bench::scenario_main(argc, argv, "fig10");
 }

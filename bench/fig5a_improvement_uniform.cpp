@@ -1,32 +1,7 @@
-// Figure 5a: update-only throughput vs thread count, uniform keys
-// (50-50-0-0, MK 10M).  Compares the BAT variants against FR-BST: balancing
-// should beat the unbalanced tree, and delegation should add ~2x on top
-// once threads contend.
-#include "bench_common.h"
-
-using namespace cbat::bench;
+// Thin wrapper: keeps the paper-repro command line `fig5a_improvement_uniform`
+// working.  The scenario lives in src/bench/scenarios.cpp ("fig5a").
+#include "bench/scenarios.h"
 
 int main(int argc, char** argv) {
-  Args args(argc, argv);
-  const long maxkey =
-      args.get_long("--maxkey", args.full_scale() ? 10000000 : 100000);
-  const int ms = default_ms(args);
-  const auto threads = default_thread_sweep(args);
-
-  Table table("Figure 5a: MK " + std::to_string(maxkey) +
-                  ", 50-50-0-0, uniform — throughput (ops/s)",
-              "threads");
-  sweep_throughput(
-      table, {"BAT", "BAT-Del", "BAT-EagerDel", "FR-BST"}, threads,
-      [&](long t) {
-        RunConfig cfg;
-        cfg.workload.insert_pct = 50;
-        cfg.workload.delete_pct = 50;
-        cfg.workload.max_key = maxkey;
-        cfg.threads = static_cast<int>(t);
-        cfg.duration_ms = ms;
-        return cfg;
-      },
-      args.csv());
-  return 0;
+  return cbat::bench::scenario_main(argc, argv, "fig5a");
 }

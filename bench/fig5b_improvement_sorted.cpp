@@ -1,34 +1,7 @@
-// Figure 5b: insert-only throughput vs thread count with the *sorted* key
-// distribution and no prefill (100-0-0-0).  This isolates the benefit of
-// balancing: FR-BST degenerates to a path (propagates traverse ~n nodes)
-// while the BAT variants stay logarithmic.
-#include "bench_common.h"
-
-using namespace cbat::bench;
+// Thin wrapper: keeps the paper-repro command line `fig5b_improvement_sorted`
+// working.  The scenario lives in src/bench/scenarios.cpp ("fig5b").
+#include "bench/scenarios.h"
 
 int main(int argc, char** argv) {
-  Args args(argc, argv);
-  const long maxkey =
-      args.get_long("--maxkey", args.full_scale() ? 10000000 : 100000);
-  const int ms = default_ms(args);
-  const auto threads = default_thread_sweep(args);
-
-  Table table("Figure 5b: MK " + std::to_string(maxkey) +
-                  ", 100-0-0-0, sorted keys, no prefill — throughput (ops/s)",
-              "threads");
-  sweep_throughput(
-      table, {"BAT", "BAT-Del", "BAT-EagerDel", "FR-BST"}, threads,
-      [&](long t) {
-        RunConfig cfg;
-        cfg.workload.insert_pct = 100;
-        cfg.workload.delete_pct = 0;
-        cfg.workload.max_key = maxkey;
-        cfg.workload.dist = KeyDist::kSorted;
-        cfg.threads = static_cast<int>(t);
-        cfg.duration_ms = ms;
-        cfg.prefill = false;  // paper: Figure 5b has no prefilling
-        return cfg;
-      },
-      args.csv());
-  return 0;
+  return cbat::bench::scenario_main(argc, argv, "fig5b");
 }

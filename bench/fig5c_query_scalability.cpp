@@ -1,51 +1,7 @@
-// Figure 5c: throughput vs thread count for rank, select and range queries
-// on BAT-EagerDel (5-5-0-90, RQ 50K, MK 10M).  Rank and select descend one
-// path; range queries descend two, so they run slower but all three scale.
-#include "bench_common.h"
-
-using namespace cbat::bench;
+// Thin wrapper: keeps the paper-repro command line `fig5c_query_scalability`
+// working.  The scenario lives in src/bench/scenarios.cpp ("fig5c").
+#include "bench/scenarios.h"
 
 int main(int argc, char** argv) {
-  Args args(argc, argv);
-  const bool full = args.full_scale();
-  const long maxkey = args.get_long("--maxkey", full ? 10000000 : 100000);
-  const long rq = args.get_long("--rq", full ? 50000 : 5000);
-  const int ms = default_ms(args);
-  const auto threads = default_thread_sweep(args);
-
-  Table table("Figure 5c: BAT-EagerDel, RQ " + std::to_string(rq) + ", MK " +
-                  std::to_string(maxkey) +
-                  ", 5-5-0-90 — throughput (ops/s)",
-              "threads");
-  std::vector<std::string> cols;
-  for (long t : threads) cols.push_back(std::to_string(t));
-  table.set_columns(cols);
-
-  const std::pair<const char*, QueryKind> kinds[] = {
-      {"Rank", QueryKind::kRank},
-      {"RangeQuery", QueryKind::kRange},
-      {"Select", QueryKind::kSelect},
-  };
-  for (const auto& [label, kind] : kinds) {
-    for (long t : threads) {
-      RunConfig cfg;
-      cfg.workload.insert_pct = 5;
-      cfg.workload.delete_pct = 5;
-      cfg.workload.query_pct = 90;
-      cfg.workload.query_kind = kind;
-      cfg.workload.rq_size = rq;
-      cfg.workload.max_key = maxkey;
-      cfg.threads = static_cast<int>(t);
-      cfg.duration_ms = ms;
-      const RunResult r = run_benchmark("BAT-EagerDel", cfg);
-      table.add_cell(label, fmt_throughput(r.throughput()));
-      std::fprintf(stderr, "  [%s x=%ld] %.3f Mop/s\n", label, t, r.mops());
-    }
-  }
-  if (args.csv()) {
-    table.print_csv();
-  } else {
-    table.print();
-  }
-  return 0;
+  return cbat::bench::scenario_main(argc, argv, "fig5c");
 }

@@ -1,52 +1,7 @@
-// Figure 6: throughput vs range-query size on a mixed workload
-// (10-10-40-40, TT 120), for a small (6a: MK 100K) and a large (6b: MK 10M)
-// tree.  Augmented trees (BAT, FR-BST) should stay flat as the range grows;
-// the unaugmented trees pay Θ(range) per query and fall off, crossing over
-// around RQ 2K-10K.
-#include "bench_common.h"
-
-using namespace cbat::bench;
+// Thin wrapper: keeps the paper-repro command line `fig6_range_query_size`
+// working.  The scenario lives in src/bench/scenarios.cpp ("fig6").
+#include "bench/scenarios.h"
 
 int main(int argc, char** argv) {
-  Args args(argc, argv);
-  const bool full = args.full_scale();
-  const long tt = default_fixed_threads(args);
-  const int ms = default_ms(args);
-  const auto rqs = args.get_list(
-      "--rq", full ? std::vector<long>{8, 64, 256, 1024, 4096, 16384, 65536}
-                   : std::vector<long>{8, 64, 512, 4096, 16384});
-
-  const long small_mk = args.get_long("--maxkey-small", 100000);
-  const long large_mk =
-      args.get_long("--maxkey", full ? 10000000 : 400000);
-
-  const std::vector<std::string> structures = {
-      "BAT-EagerDel", "FR-BST", "VcasBST", "VerlibBTree",
-      "BundledCitrusTree"};
-
-  for (const auto& [fig, maxkey] :
-       {std::pair<const char*, long>{"6a (small tree)", small_mk},
-        std::pair<const char*, long>{"6b (large tree)", large_mk}}) {
-    Table table(std::string("Figure ") + fig + ": TT " + std::to_string(tt) +
-                    ", MK " + std::to_string(maxkey) +
-                    ", 10-10-40-40 — throughput (ops/s)",
-                "rq_size");
-    sweep_throughput(
-        table, structures, rqs,
-        [&](long rq) {
-          RunConfig cfg;
-          cfg.workload.insert_pct = 10;
-          cfg.workload.delete_pct = 10;
-          cfg.workload.find_pct = 40;
-          cfg.workload.query_pct = 40;
-          cfg.workload.query_kind = QueryKind::kRange;
-          cfg.workload.rq_size = rq;
-          cfg.workload.max_key = maxkey;
-          cfg.threads = static_cast<int>(tt);
-          cfg.duration_ms = ms;
-          return cfg;
-        },
-        args.csv());
-  }
-  return 0;
+  return cbat::bench::scenario_main(argc, argv, "fig6");
 }

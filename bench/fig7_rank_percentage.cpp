@@ -1,61 +1,7 @@
-// Figure 7: throughput vs percentage of rank queries, remaining ops split
-// evenly between inserts and deletes (TT 120; 7a MK 100K, 7b MK 10M).
-// Unaugmented trees answer rank by scanning ~half the keys, so even a tiny
-// rank percentage sinks them on large trees; BAT wins beyond 0.15%-11%
-// depending on size.
-#include "bench_common.h"
-
-using namespace cbat::bench;
+// Thin wrapper: keeps the paper-repro command line `fig7_rank_percentage`
+// working.  The scenario lives in src/bench/scenarios.cpp ("fig7").
+#include "bench/scenarios.h"
 
 int main(int argc, char** argv) {
-  Args args(argc, argv);
-  const bool full = args.full_scale();
-  const long tt = default_fixed_threads(args);
-  const int ms = default_ms(args);
-  const double percents[] = {0.01, 0.1, 1, 10, 100};
-
-  const long small_mk = args.get_long("--maxkey-small", full ? 100000 : 50000);
-  const long large_mk = args.get_long("--maxkey", full ? 10000000 : 400000);
-
-  const std::vector<std::string> structures = {
-      "BAT-EagerDel", "FR-BST", "VcasBST", "VerlibBTree",
-      "BundledCitrusTree"};
-
-  for (const auto& [fig, maxkey] :
-       {std::pair<const char*, long>{"7a (small tree)", small_mk},
-        std::pair<const char*, long>{"7b (large tree)", large_mk}}) {
-    Table table(std::string("Figure ") + fig + ": TT " + std::to_string(tt) +
-                    ", MK " + std::to_string(maxkey) +
-                    ", (100-x)/2-(100-x)/2-0-x rank — throughput (ops/s)",
-                "rank_pct");
-    std::vector<std::string> cols;
-    for (double p : percents) {
-      char buf[16];
-      std::snprintf(buf, sizeof(buf), "%g%%", p);
-      cols.push_back(buf);
-    }
-    table.set_columns(cols);
-    for (const auto& s : structures) {
-      for (double p : percents) {
-        RunConfig cfg;
-        cfg.workload.insert_pct = (100 - p) / 2;
-        cfg.workload.delete_pct = (100 - p) / 2;
-        cfg.workload.query_pct = p;
-        cfg.workload.query_kind = QueryKind::kRank;
-        cfg.workload.max_key = maxkey;
-        cfg.threads = static_cast<int>(tt);
-        cfg.duration_ms = ms;
-        const RunResult r = run_benchmark(s, cfg);
-        table.add_cell(s, fmt_throughput(r.throughput()));
-        std::fprintf(stderr, "  [%s x=%g%%] %.3f Mop/s\n", s.c_str(), p,
-                     r.mops());
-      }
-    }
-    if (args.csv()) {
-      table.print_csv();
-    } else {
-      table.print();
-    }
-  }
-  return 0;
+  return cbat::bench::scenario_main(argc, argv, "fig7");
 }

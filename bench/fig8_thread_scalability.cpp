@@ -1,52 +1,7 @@
-// Figure 8: throughput vs thread count with range queries of size 50K
-// (MK 10M): 8a low-update (2.5-2.5-47.5-47.5, YCSB-B-like) and 8b
-// high-update (25-25-25-25, YCSB-A-like).  BAT-EagerDel should beat the
-// closest unaugmented competitor by a wide factor at every thread count.
-#include "bench_common.h"
-
-using namespace cbat::bench;
+// Thin wrapper: keeps the paper-repro command line `fig8_thread_scalability`
+// working.  The scenario lives in src/bench/scenarios.cpp ("fig8").
+#include "bench/scenarios.h"
 
 int main(int argc, char** argv) {
-  Args args(argc, argv);
-  const bool full = args.full_scale();
-  const long maxkey = args.get_long("--maxkey", full ? 10000000 : 200000);
-  const long rq = args.get_long("--rq", full ? 50000 : 10000);
-  const int ms = default_ms(args);
-  const auto threads = default_thread_sweep(args);
-
-  const std::vector<std::string> structures = {
-      "BAT-EagerDel", "FR-BST", "VcasBST", "VerlibBTree",
-      "BundledCitrusTree"};
-
-  struct Mix {
-    const char* name;
-    double i, d, f, q;
-  };
-  const Mix mixes[] = {
-      {"8a (low update)", 2.5, 2.5, 47.5, 47.5},
-      {"8b (high update)", 25, 25, 25, 25},
-  };
-  for (const Mix& m : mixes) {
-    Table table(std::string("Figure ") + m.name + ": RQ " +
-                    std::to_string(rq) + ", MK " + std::to_string(maxkey) +
-                    " — throughput (ops/s)",
-                "threads");
-    sweep_throughput(
-        table, structures, threads,
-        [&](long t) {
-          RunConfig cfg;
-          cfg.workload.insert_pct = m.i;
-          cfg.workload.delete_pct = m.d;
-          cfg.workload.find_pct = m.f;
-          cfg.workload.query_pct = m.q;
-          cfg.workload.query_kind = QueryKind::kRange;
-          cfg.workload.rq_size = rq;
-          cfg.workload.max_key = maxkey;
-          cfg.threads = static_cast<int>(t);
-          cfg.duration_ms = ms;
-          return cfg;
-        },
-        args.csv());
-  }
-  return 0;
+  return cbat::bench::scenario_main(argc, argv, "fig8");
 }

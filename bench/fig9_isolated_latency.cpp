@@ -1,63 +1,7 @@
-// Figure 9: average per-operation latency vs range-query size on the mixed
-// workload of Figure 6b (10-10-40-40, TT 120, MK 10M): 9a update latency,
-// 9b range-query latency.  BAT's update latency should stay flat; its
-// range-query latency should stay flat while unaugmented trees grow
-// linearly, crossing around RQ ~2000.
-#include "bench_common.h"
-
-using namespace cbat::bench;
+// Thin wrapper: keeps the paper-repro command line `fig9_isolated_latency`
+// working.  The scenario lives in src/bench/scenarios.cpp ("fig9").
+#include "bench/scenarios.h"
 
 int main(int argc, char** argv) {
-  Args args(argc, argv);
-  const bool full = args.full_scale();
-  const long tt = default_fixed_threads(args);
-  const long maxkey = args.get_long("--maxkey", full ? 10000000 : 400000);
-  const int ms = default_ms(args);
-  const auto rqs = args.get_list(
-      "--rq", full ? std::vector<long>{8, 64, 256, 1024, 4096, 16384, 65536}
-                   : std::vector<long>{8, 64, 512, 4096, 16384});
-
-  const std::vector<std::string> structures = {
-      "BAT-EagerDel", "FR-BST", "VcasBST", "VerlibBTree",
-      "BundledCitrusTree"};
-
-  Table upd("Figure 9a: TT " + std::to_string(tt) + ", MK " +
-                std::to_string(maxkey) +
-                ", 10-10-40-40 — average update latency",
-            "rq_size");
-  Table qry("Figure 9b: same workload — average range-query latency",
-            "rq_size");
-  std::vector<std::string> cols;
-  for (long rq : rqs) cols.push_back(std::to_string(rq));
-  upd.set_columns(cols);
-  qry.set_columns(cols);
-
-  for (const auto& s : structures) {
-    for (long rq : rqs) {
-      RunConfig cfg;
-      cfg.workload.insert_pct = 10;
-      cfg.workload.delete_pct = 10;
-      cfg.workload.find_pct = 40;
-      cfg.workload.query_pct = 40;
-      cfg.workload.query_kind = QueryKind::kRange;
-      cfg.workload.rq_size = rq;
-      cfg.workload.max_key = maxkey;
-      cfg.threads = static_cast<int>(tt);
-      cfg.duration_ms = ms;
-      const RunResult r = run_benchmark(s, cfg);
-      upd.add_cell(s, fmt_latency_ns(r.update_latency_ns));
-      qry.add_cell(s, fmt_latency_ns(r.query_latency_ns));
-      std::fprintf(stderr, "  [%s rq=%ld] upd=%s rq=%s\n", s.c_str(), rq,
-                   fmt_latency_ns(r.update_latency_ns).c_str(),
-                   fmt_latency_ns(r.query_latency_ns).c_str());
-    }
-  }
-  if (args.csv()) {
-    upd.print_csv();
-    qry.print_csv();
-  } else {
-    upd.print();
-    qry.print();
-  }
-  return 0;
+  return cbat::bench::scenario_main(argc, argv, "fig9");
 }

@@ -1,110 +1,7 @@
-// google-benchmark micro-benchmarks for the building blocks whose costs
-// drive the end-to-end numbers: version-tree queries, Propagate/Refresh,
-// the Zipf sampler, the EBR guard, and the flat pointer set.
-#include <benchmark/benchmark.h>
+// Thin wrapper: keeps the paper-repro command line `micro_components`
+// working.  The scenario lives in src/bench/scenarios.cpp ("micro_components").
+#include "bench/scenarios.h"
 
-#include "core/bat_tree.h"
-#include "frbst/frbst.h"
-#include "reclamation/ebr.h"
-#include "util/flat_set.h"
-#include "util/random.h"
-#include "util/zipf.h"
-
-namespace {
-
-using namespace cbat;
-
-void BM_EbrGuard(benchmark::State& state) {
-  for (auto _ : state) {
-    EbrGuard g;
-    benchmark::ClobberMemory();
-  }
+int main(int argc, char** argv) {
+  return cbat::bench::scenario_main(argc, argv, "micro_components");
 }
-BENCHMARK(BM_EbrGuard);
-
-void BM_ZipfNext(benchmark::State& state) {
-  Xoshiro256 rng(3);
-  ZipfGenerator zipf(10000000, 0.99);
-  for (auto _ : state) benchmark::DoNotOptimize(zipf.next(rng));
-}
-BENCHMARK(BM_ZipfNext);
-
-void BM_FlatSetInsertClear(benchmark::State& state) {
-  FlatPtrSet set;
-  std::vector<int> storage(64);
-  for (auto _ : state) {
-    for (auto& x : storage) set.insert(&x);
-    set.clear();
-  }
-}
-BENCHMARK(BM_FlatSetInsertClear);
-
-template <class Tree>
-void prefill_tree(Tree& t, int n, Key range) {
-  Xoshiro256 rng(7);
-  for (int i = 0; i < n; ++i) {
-    t.insert(static_cast<Key>(rng.below(static_cast<std::uint64_t>(range))));
-  }
-}
-
-void BM_BatUpdateWithPropagate(benchmark::State& state) {
-  Bat<SizeAug> t;
-  prefill_tree(t, 50000, 100000);
-  Xoshiro256 rng(9);
-  for (auto _ : state) {
-    const Key k = static_cast<Key>(rng.below(100000));
-    t.insert(k);
-    t.erase(k);
-  }
-}
-BENCHMARK(BM_BatUpdateWithPropagate);
-
-void BM_FrBstUpdateWithPropagate(benchmark::State& state) {
-  FrBst<SizeAug> t;
-  prefill_tree(t, 50000, 100000);
-  Xoshiro256 rng(9);
-  for (auto _ : state) {
-    const Key k = static_cast<Key>(rng.below(100000));
-    t.insert(k);
-    t.erase(k);
-  }
-}
-BENCHMARK(BM_FrBstUpdateWithPropagate);
-
-void BM_BatRank(benchmark::State& state) {
-  Bat<SizeAug> t;
-  prefill_tree(t, 50000, 100000);
-  Xoshiro256 rng(11);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(t.rank(static_cast<Key>(rng.below(100000))));
-  }
-}
-BENCHMARK(BM_BatRank);
-
-void BM_BatRangeCount(benchmark::State& state) {
-  Bat<SizeAug> t;
-  prefill_tree(t, 50000, 100000);
-  Xoshiro256 rng(13);
-  const Key rq = static_cast<Key>(state.range(0));
-  for (auto _ : state) {
-    const Key lo = static_cast<Key>(rng.below(100000 - rq));
-    benchmark::DoNotOptimize(t.range_count(lo, lo + rq - 1));
-  }
-}
-BENCHMARK(BM_BatRangeCount)->Arg(64)->Arg(1024)->Arg(16384);
-
-void BM_BatSelect(benchmark::State& state) {
-  Bat<SizeAug> t;
-  prefill_tree(t, 50000, 100000);
-  Xoshiro256 rng(15);
-  const auto n = t.size();
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        t.select(1 + static_cast<std::int64_t>(rng.below(n))));
-  }
-}
-BENCHMARK(BM_BatSelect);
-
-}  // namespace
-
-BENCHMARK_MAIN();

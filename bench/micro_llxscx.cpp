@@ -1,91 +1,7 @@
-// google-benchmark micro-benchmarks for the LLX/SCX substrate: the cost of
-// an uncontended LLX, a full LLX+SCX child swing, and chromatic-tree point
-// operations that sit on top of them.
-#include <benchmark/benchmark.h>
+// Thin wrapper: keeps the paper-repro command line `micro_llxscx`
+// working.  The scenario lives in src/bench/scenarios.cpp ("micro_llxscx").
+#include "bench/scenarios.h"
 
-#include "chromatic/chromatic_set.h"
-#include "llxscx/llx_scx.h"
-#include "reclamation/ebr.h"
-#include "util/random.h"
-
-namespace {
-
-using namespace cbat;
-
-void BM_LlxUncontended(benchmark::State& state) {
-  EbrGuard g;
-  Node* a = new Node(1, 1, nullptr, nullptr);
-  Node* b = new Node(5, 1, nullptr, nullptr);
-  Node* p = new Node(5, 1, a, b);
-  for (auto _ : state) {
-    LlxSnap s;
-    benchmark::DoNotOptimize(llx(p, &s));
-  }
-  release_node_info(p);
-  release_node_info(a);
-  release_node_info(b);
-  delete p;
-  delete a;
-  delete b;
+int main(int argc, char** argv) {
+  return cbat::bench::scenario_main(argc, argv, "micro_llxscx");
 }
-BENCHMARK(BM_LlxUncontended);
-
-void BM_ScxChildSwing(benchmark::State& state) {
-  EbrGuard g;
-  Node* cell = new Node(0, 1, nullptr, nullptr);
-  Node* right = new Node(100, 1, nullptr, nullptr);
-  Node* p = new Node(100, 1, cell, right);
-  for (auto _ : state) {
-    LlxSnap ps, cs;
-    if (llx(p, &ps) != LlxStatus::kOk) continue;
-    Node* cur = ps.left();
-    if (llx(cur, &cs) != LlxStatus::kOk) continue;
-    Node* next = new Node(cur->key + 1, 1, nullptr, nullptr);
-    LlxSnap v[2] = {ps, cs};
-    if (scx(v, 2, 1, &p->child[0], next)) {
-      Ebr::retire(cur, [](void* q) {
-        Node* n = static_cast<Node*>(q);
-        release_node_info(n);
-        delete n;
-      });
-    } else {
-      release_node_info(next);
-      delete next;
-    }
-  }
-  release_node_info(p);
-  release_node_info(right);
-  Node* last = p->child[0].load();
-  release_node_info(last);
-  delete last;
-  delete p;
-  delete right;
-  Ebr::drain();
-}
-BENCHMARK(BM_ScxChildSwing);
-
-void BM_ChromaticInsertErase(benchmark::State& state) {
-  ChromaticSet set;
-  Xoshiro256 rng(1);
-  for (int i = 0; i < 10000; ++i) set.insert(static_cast<Key>(rng.below(20000)));
-  for (auto _ : state) {
-    const Key k = static_cast<Key>(rng.below(20000));
-    set.insert(k);
-    set.erase(k);
-  }
-}
-BENCHMARK(BM_ChromaticInsertErase);
-
-void BM_ChromaticContains(benchmark::State& state) {
-  ChromaticSet set;
-  Xoshiro256 rng(2);
-  for (int i = 0; i < 10000; ++i) set.insert(static_cast<Key>(rng.below(20000)));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(set.contains(static_cast<Key>(rng.below(20000))));
-  }
-}
-BENCHMARK(BM_ChromaticContains);
-
-}  // namespace
-
-BENCHMARK_MAIN();

@@ -1,78 +1,7 @@
-// §7 "Why Balancing Improves Throughput": per-Propagate statistics on a
-// 25-25-25-25 workload (MK 100K, RQ 50K) under uniform and Zipfian (0.99)
-// key distributions:
-//   * nodes traversed per Propagate beyond the initial search path
-//     (paper: ~6.4% uniform / ~5.9% Zipf for BAT),
-//   * nil versions filled per Propagate (paper: 0.075 / 0.03),
-//   * version-CAS attempts per Propagate (paper: 22.2 BAT, 13.9 EagerDel,
-//     26.8 FR-BST on 120 threads),
-//   * delegations per Propagate for the delegating variants.
-#include <cstdio>
-
-#include "bench_common.h"
-#include "util/counters.h"
-
-using namespace cbat::bench;
-using cbat::Counter;
-using cbat::Counters;
+// Thin wrapper: keeps the paper-repro command line `table3_propagate_stats`
+// working.  The scenario lives in src/bench/scenarios.cpp ("table3").
+#include "bench/scenarios.h"
 
 int main(int argc, char** argv) {
-  Args args(argc, argv);
-  const bool full = args.full_scale();
-  const long tt = default_fixed_threads(args);
-  const long maxkey = args.get_long("--maxkey", 100000);
-  const long rq = args.get_long("--rq", full ? 50000 : 5000);
-  const int ms = default_ms(args, 200);
-
-  const std::vector<std::string> structures = {"BAT", "BAT-Del",
-                                               "BAT-EagerDel", "FR-BST"};
-  struct Dist {
-    const char* name;
-    KeyDist dist;
-    double theta;
-  };
-  const Dist dists[] = {
-      {"uniform", KeyDist::kUniform, 0},
-      {"zipf-0.99", KeyDist::kZipf, 0.99},
-  };
-
-  std::printf(
-      "\n== Propagate statistics (TT %ld, MK %ld, RQ %ld, 25-25-25-25) ==\n",
-      tt, maxkey, rq);
-  std::printf("%-14s %-10s %10s %10s %10s %10s %10s\n", "structure", "dist",
-              "nodes/prop", "extra%", "nil/prop", "cas/prop", "deleg/prop");
-  for (const auto& d : dists) {
-    for (const auto& s : structures) {
-      Counters::reset();
-      RunConfig cfg;
-      cfg.workload.insert_pct = 25;
-      cfg.workload.delete_pct = 25;
-      cfg.workload.find_pct = 25;
-      cfg.workload.query_pct = 25;
-      cfg.workload.query_kind = QueryKind::kRange;
-      cfg.workload.rq_size = std::min<long>(rq, maxkey / 4);
-      cfg.workload.max_key = maxkey;
-      cfg.workload.dist = d.dist;
-      cfg.workload.zipf_theta = d.theta;
-      cfg.threads = static_cast<int>(tt);
-      cfg.duration_ms = ms;
-      run_benchmark(s, cfg);
-      const auto c = Counters::snapshot();
-      const double props =
-          std::max<double>(1, static_cast<double>(c[Counter::kPropagateCalls]));
-      const double search = static_cast<double>(c[Counter::kSearchPathNodes]);
-      const double extra =
-          static_cast<double>(c[Counter::kPropagateExtraNodes]);
-      std::printf("%-14s %-10s %10.2f %9.2f%% %10.4f %10.2f %10.4f\n",
-                  s.c_str(), d.name,
-                  static_cast<double>(c[Counter::kPropagateNodes]) / props,
-                  search > 0 ? 100.0 * extra / search : 0.0,
-                  static_cast<double>(c[Counter::kNilRefreshes]) / props,
-                  static_cast<double>(c[Counter::kRefreshCas]) / props,
-                  static_cast<double>(c[Counter::kDelegations]) / props);
-      std::fflush(stdout);
-    }
-  }
-  Counters::reset();
-  return 0;
+  return cbat::bench::scenario_main(argc, argv, "table3");
 }

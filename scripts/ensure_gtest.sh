@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# CI helper: some distro images ship libgtest-dev as sources only.  The
+# root CMakeLists does find_package(GTest REQUIRED) unconditionally, so
+# build the static libs from /usr/src/googletest when none are installed.
+set -euo pipefail
+
+if ls /usr/lib/*/libgtest.a /usr/lib/libgtest.a 2>/dev/null | grep -q .; then
+  echo "ensure_gtest: prebuilt libgtest.a found"
+  exit 0
+fi
+if [[ ! -d /usr/src/googletest ]]; then
+  echo "ensure_gtest: no prebuilt libs and no /usr/src/googletest" >&2
+  exit 1
+fi
+cmake -S /usr/src/googletest -B /tmp/gtest-build
+cmake --build /tmp/gtest-build -j
+sudo cmake --install /tmp/gtest-build

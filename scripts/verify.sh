@@ -5,6 +5,11 @@
 #   scripts/verify.sh            # full suite
 #   scripts/verify.sh --unit     # fast unit tests only (ctest -L unit)
 #
+# Environment (used by the CI matrix; all optional):
+#   BUILD_DIR          build tree                       (default: build)
+#   CMAKE_BUILD_TYPE   passed to cmake when set (e.g. Release, Debug)
+#   CBAT_SANITIZE      passed to cmake when set (e.g. address,undefined)
+#
 # The label split mirrors CMakeLists.txt: "unit" tests are fast
 # single-structure tests, "integration" tests cross structures or run
 # multi-second stress loops.
@@ -18,7 +23,17 @@ if [[ "${1:-}" == "--unit" ]]; then
   shift
 fi
 
-cmake -B build -S .
-cmake --build build -j
+BUILD_DIR="${BUILD_DIR:-build}"
+CMAKE_ARGS=()
+if [[ -n "${CMAKE_BUILD_TYPE:-}" ]]; then
+  CMAKE_ARGS+=(-DCMAKE_BUILD_TYPE="$CMAKE_BUILD_TYPE")
+fi
+if [[ -n "${CBAT_SANITIZE:-}" ]]; then
+  CMAKE_ARGS+=(-DCBAT_SANITIZE="$CBAT_SANITIZE")
+fi
+
+cmake -B "$BUILD_DIR" -S . "${CMAKE_ARGS[@]}"
+cmake --build "$BUILD_DIR" -j
 # Note: a bare `ctest -j` would swallow the next argument as its value.
-ctest --test-dir build --output-on-failure -j "$(nproc)" "${LABEL_ARGS[@]}" "$@"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" \
+  "${LABEL_ARGS[@]}" "$@"

@@ -1,11 +1,13 @@
 // Tiny command-line parsing for the bench binaries.
 //
-// Every figure bench accepts:
+// Every scenario accepts:
 //   --ms N           per-cell measured duration (default scaled for CI)
 //   --threads a,b,c  thread counts to sweep
 //   --maxkey N       key-range size
 //   --rq N           range-query size
-//   --csv            machine-readable output
+//   --csv            machine-readable table output
+//   --json PATH      structured results (schema shared with BENCH_*.json)
+//   --smoke          minimal parameters for the CI smoke bench
 //   --full           paper-scale parameters (or CBAT_BENCH_FULL=1)
 #pragma once
 
@@ -60,11 +62,54 @@ class Args {
     return out;
   }
 
+  std::string get_str(const std::string& flag, std::string def) const {
+    for (std::size_t i = 0; i < args_.size(); ++i) {
+      if (args_[i] == flag && i + 1 < args_.size()) return args_[i + 1];
+      if (args_[i].rfind(flag + "=", 0) == 0) {
+        return args_[i].substr(flag.size() + 1);
+      }
+    }
+    return def;
+  }
+
+  // Collects every occurrence of `flag`, splitting each value on commas:
+  //   --scenario fig5a --scenario fig8,table3  ->  {fig5a, fig8, table3}
+  std::vector<std::string> get_str_list(const std::string& flag) const {
+    std::vector<std::string> out;
+    auto split_into = [&out](const std::string& raw) {
+      std::size_t start = 0;
+      while (start <= raw.size()) {
+        std::size_t comma = raw.find(',', start);
+        if (comma == std::string::npos) comma = raw.size();
+        if (comma > start) out.push_back(raw.substr(start, comma - start));
+        start = comma + 1;
+      }
+    };
+    for (std::size_t i = 0; i < args_.size(); ++i) {
+      if (args_[i] == flag && i + 1 < args_.size()) split_into(args_[i + 1]);
+      if (args_[i].rfind(flag + "=", 0) == 0) {
+        split_into(args_[i].substr(flag.size() + 1));
+      }
+    }
+    return out;
+  }
+
   // Paper-scale mode: longer runs, paper-sized key ranges and thread sweeps.
   bool full_scale() const {
     if (has("--full")) return true;
     const char* env = std::getenv("CBAT_BENCH_FULL");
     return env != nullptr && env[0] == '1';
+  }
+
+  // Smoke mode: the smallest parameters that still exercise every cell;
+  // used by scripts/bench_smoke.sh and the CI smoke-bench job.  --full
+  // wins when both are given.
+  bool smoke() const { return !full_scale() && has("--smoke"); }
+
+  const char* mode_name() const {
+    if (full_scale()) return "full";
+    if (smoke()) return "smoke";
+    return "default";
   }
 
   bool csv() const { return has("--csv"); }

@@ -44,10 +44,9 @@ struct ThreadTotals {
   std::int64_t updates = 0;
   std::int64_t finds = 0;
   std::int64_t queries = 0;
-  double update_lat_sum = 0;
-  std::int64_t update_lat_n = 0;
-  double query_lat_sum = 0;
-  std::int64_t query_lat_n = 0;
+  LatencyHistogram update_hist;
+  LatencyHistogram find_hist;
+  LatencyHistogram query_hist;
 };
 
 void worker(SetAdapter& set, const RunConfig& cfg, int tid,
@@ -92,7 +91,8 @@ void worker(SetAdapter& set, const RunConfig& cfg, int tid,
           case QueryKind::kSelect: {
             const std::int64_t n =
                 std::max<std::int64_t>(stream.snapshot_size_hint(), 1);
-            set.select_query(1 + static_cast<std::int64_t>(stream.next_key()) % n);
+            set.select_query(1 +
+                             static_cast<std::int64_t>(stream.next_key()) % n);
             break;
           }
         }
@@ -101,15 +101,16 @@ void worker(SetAdapter& set, const RunConfig& cfg, int tid,
       }
     }
     if (sample) {
-      const double ns = std::chrono::duration<double, std::nano>(
-                            Clock::now() - t0)
-                            .count();
+      const auto ns = static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                               t0)
+              .count());
       if (op == OpStream::Op::kQuery) {
-        tt.query_lat_sum += ns;
-        ++tt.query_lat_n;
-      } else if (op != OpStream::Op::kFind) {
-        tt.update_lat_sum += ns;
-        ++tt.update_lat_n;
+        tt.query_hist.record(ns);
+      } else if (op == OpStream::Op::kFind) {
+        tt.find_hist.record(ns);
+      } else {
+        tt.update_hist.record(ns);
       }
       sample_countdown = 32;
     }
@@ -148,20 +149,19 @@ RunResult run_on(SetAdapter& set, const RunConfig& cfg) {
   r.structure = set.name();
   r.config = cfg;
   r.seconds = secs;
-  double ulat = 0, qlat = 0;
-  std::int64_t un = 0, qn = 0;
+  LatencyHistogram update_hist, find_hist, query_hist;
   for (const auto& tt : totals) {
     r.total_ops += tt.ops;
     r.updates += tt.updates;
     r.finds += tt.finds;
     r.queries += tt.queries;
-    ulat += tt.update_lat_sum;
-    un += tt.update_lat_n;
-    qlat += tt.query_lat_sum;
-    qn += tt.query_lat_n;
+    update_hist.merge(tt.update_hist);
+    find_hist.merge(tt.find_hist);
+    query_hist.merge(tt.query_hist);
   }
-  r.update_latency_ns = un > 0 ? ulat / un : 0;
-  r.query_latency_ns = qn > 0 ? qlat / qn : 0;
+  r.update_latency = LatencyStats::from(update_hist);
+  r.find_latency = LatencyStats::from(find_hist);
+  r.query_latency = LatencyStats::from(query_hist);
   return r;
 }
 

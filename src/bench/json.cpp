@@ -1,0 +1,166 @@
+#include "bench/json.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace cbat::bench {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_double(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[40];
+  // Shortest representation that survives a parse round trip.
+  for (int prec = 15; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  // "%g" can produce "1e+300" (valid JSON) but also bare integers like
+  // "42" — both parse fine, so no fixup is needed beyond NaN/Inf above.
+  return buf;
+}
+
+void JsonWriter::before_value() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;
+  }
+  if (!stack_.empty()) {
+    assert(stack_.back() && "value without key inside an object");
+    if (counts_.back()++ > 0) out_ += ',';
+  }
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  before_value();
+  out_ += '{';
+  stack_.push_back(false);
+  counts_.push_back(0);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  assert(!stack_.empty() && !stack_.back());
+  out_ += '}';
+  stack_.pop_back();
+  counts_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  before_value();
+  out_ += '[';
+  stack_.push_back(true);
+  counts_.push_back(0);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  assert(!stack_.empty() && stack_.back());
+  out_ += ']';
+  stack_.pop_back();
+  counts_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  assert(!stack_.empty() && !stack_.back() && "key outside an object");
+  if (counts_.back()++ > 0) out_ += ',';
+  out_ += '"';
+  out_ += json_escape(k);
+  out_ += "\":";
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+  before_value();
+  out_ += '"';
+  out_ += json_escape(v);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  before_value();
+  out_ += json_double(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  before_value();
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  before_value();
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  before_value();
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::null_value() {
+  before_value();
+  out_ += "null";
+  return *this;
+}
+
+bool write_file(const std::string& path, const std::string& contents) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (!f) return false;
+  const std::size_t n = std::fwrite(contents.data(), 1, contents.size(), f);
+  const bool ok = n == contents.size() && std::fclose(f) == 0;
+  if (n != contents.size()) std::fclose(f);
+  return ok;
+}
+
+}  // namespace cbat::bench

@@ -1,0 +1,74 @@
+// Minimal dependency-free JSON writer used for the benchmark trajectory
+// files (BENCH_*.json).  Produces RFC 8259 output: strings are escaped,
+// doubles are emitted with enough digits to round-trip, and non-finite
+// doubles degrade to null (JSON has no NaN/Inf literal).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cbat::bench {
+
+// Escapes the characters JSON requires escaped (quote, backslash, control
+// characters); everything else — including multi-byte UTF-8 — passes
+// through untouched.  Returns the escaped body without surrounding quotes.
+std::string json_escape(std::string_view s);
+
+// Shortest decimal representation that parses back to exactly `v`.
+// Non-finite values return "null".
+std::string json_double(double v);
+
+// Streaming writer.  Usage:
+//   JsonWriter w;
+//   w.begin_object();
+//   w.key("answer"); w.value(42);
+//   w.key("runs"); w.begin_array(); w.value("a"); w.end_array();
+//   w.end_object();
+//   std::string doc = w.take();
+// Commas and colons are inserted automatically; mismatched begin/end or a
+// key outside an object is a programming error (asserted in debug builds).
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(double v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(bool v);
+  JsonWriter& null_value();
+
+  // key + value in one call.
+  template <class T>
+  JsonWriter& kv(std::string_view k, T&& v) {
+    key(k);
+    return value(std::forward<T>(v));
+  }
+
+  const std::string& str() const { return out_; }
+  std::string take() { return std::move(out_); }
+
+ private:
+  void before_value();
+
+  std::string out_;
+  // One entry per open container: true = array, false = object.
+  std::vector<bool> stack_;
+  // Count of values (arrays) / keys (objects) emitted per open container.
+  std::vector<std::size_t> counts_;
+  bool pending_key_ = false;
+};
+
+// Writes `contents` to `path` atomically enough for our purposes (truncate
+// + write + close).  Returns false and leaves errno set on failure.
+bool write_file(const std::string& path, const std::string& contents);
+
+}  // namespace cbat::bench

@@ -1,0 +1,118 @@
+// Log-linear latency histogram (HdrHistogram-style bucketing) giving true
+// percentiles per operation class instead of the sampled averages the
+// driver used to report.  Values are nanoseconds.  Buckets below
+// 2^kSubBucketBits are exact; above that, each power-of-two octave is
+// split into kSubBuckets sub-buckets, bounding relative error by
+// 1/kSubBuckets (~3% with 32 sub-buckets) across the full uint64 range.
+//
+// record() is O(1) with no allocation, so the driver can record every
+// sampled operation from every worker thread and merge() the per-thread
+// histograms after the run.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cstdint>
+
+namespace cbat::bench {
+
+class LatencyHistogram {
+ public:
+  static constexpr int kSubBucketBits = 5;
+  static constexpr int kSubBuckets = 1 << kSubBucketBits;
+  static constexpr int kBucketCount = (64 - kSubBucketBits + 1) * kSubBuckets;
+
+  static int bucket_index(std::uint64_t ns) {
+    if (ns < static_cast<std::uint64_t>(kSubBuckets)) {
+      return static_cast<int>(ns);
+    }
+    const int high = 63 - std::countl_zero(ns);
+    const int shift = high - kSubBucketBits;
+    const int sub = static_cast<int>((ns >> shift) & (kSubBuckets - 1));
+    return (shift + 1) * kSubBuckets + sub;
+  }
+
+  // Midpoint of the bucket's value range: the value reported for any
+  // percentile that lands in the bucket.
+  static double bucket_value(int index) {
+    if (index < kSubBuckets) return static_cast<double>(index);
+    const int shift = index / kSubBuckets - 1;
+    const int sub = index % kSubBuckets;
+    const std::uint64_t lo = static_cast<std::uint64_t>(kSubBuckets + sub)
+                             << shift;
+    const std::uint64_t width = 1ULL << shift;
+    return static_cast<double>(lo) + static_cast<double>(width - 1) / 2.0;
+  }
+
+  void record(std::uint64_t ns) {
+    ++buckets_[bucket_index(ns)];
+    ++count_;
+    sum_ += static_cast<double>(ns);
+    if (ns > max_) max_ = ns;
+  }
+
+  void merge(const LatencyHistogram& other) {
+    for (int i = 0; i < kBucketCount; ++i) buckets_[i] += other.buckets_[i];
+    count_ += other.count_;
+    sum_ += other.sum_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
+
+  std::int64_t count() const { return count_; }
+  double mean() const {
+    return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
+  }
+  std::uint64_t max() const { return max_; }
+
+  // p in [0, 100].  Returns the bucket-midpoint value at or above which
+  // ceil(p/100 * count) recorded samples lie below-or-at.
+  double percentile(double p) const {
+    if (count_ == 0) return 0.0;
+    std::int64_t target =
+        static_cast<std::int64_t>(p / 100.0 * static_cast<double>(count_) +
+                                  0.9999999);
+    if (target < 1) target = 1;
+    if (target > count_) target = count_;
+    std::int64_t seen = 0;
+    for (int i = 0; i < kBucketCount; ++i) {
+      seen += buckets_[i];
+      if (seen >= target) {
+        // A bucket midpoint can exceed the largest recorded sample (e.g.
+        // a single sample low in a wide bucket); never report p > max.
+        return std::min(bucket_value(i), static_cast<double>(max_));
+      }
+    }
+    return static_cast<double>(max_);
+  }
+
+ private:
+  std::array<std::int64_t, kBucketCount> buckets_{};
+  std::int64_t count_ = 0;
+  double sum_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+// The summary the driver attaches to each RunResult, one per operation
+// class (update / find / query).
+struct LatencyStats {
+  std::int64_t count = 0;  // sampled operations, not total operations
+  double mean_ns = 0;
+  double p50_ns = 0;
+  double p90_ns = 0;
+  double p99_ns = 0;
+  double max_ns = 0;
+
+  static LatencyStats from(const LatencyHistogram& h) {
+    LatencyStats s;
+    s.count = h.count();
+    s.mean_ns = h.mean();
+    s.p50_ns = h.percentile(50);
+    s.p90_ns = h.percentile(90);
+    s.p99_ns = h.percentile(99);
+    s.max_ns = static_cast<double>(h.max());
+    return s;
+  }
+};
+
+}  // namespace cbat::bench

@@ -5,6 +5,30 @@
 
 namespace cbat::bench {
 
+const char* query_kind_name(QueryKind k) {
+  switch (k) {
+    case QueryKind::kRange:
+      return "range";
+    case QueryKind::kRank:
+      return "rank";
+    case QueryKind::kSelect:
+      return "select";
+  }
+  return "unknown";
+}
+
+const char* key_dist_name(KeyDist d) {
+  switch (d) {
+    case KeyDist::kUniform:
+      return "uniform";
+    case KeyDist::kZipf:
+      return "zipf";
+    case KeyDist::kSorted:
+      return "sorted";
+  }
+  return "unknown";
+}
+
 std::string Workload::mix_string() const {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%g-%g-%g-%g", insert_pct, delete_pct,
@@ -36,7 +60,8 @@ OpStream::Op OpStream::next_op() {
 Key OpStream::next_key() {
   switch (w_.dist) {
     case KeyDist::kUniform:
-      return static_cast<Key>(rng_.below(static_cast<std::uint64_t>(w_.max_key)));
+      return static_cast<Key>(
+          rng_.below(static_cast<std::uint64_t>(w_.max_key)));
     case KeyDist::kZipf:
       return static_cast<Key>(zipf_->next(rng_) - 1);
     case KeyDist::kSorted: {

@@ -18,6 +18,10 @@ enum class QueryKind { kRange, kRank, kSelect };
 
 enum class KeyDist { kUniform, kZipf, kSorted };
 
+// Stable lowercase names used in the JSON schema.
+const char* query_kind_name(QueryKind k);
+const char* key_dist_name(KeyDist d);
+
 struct Workload {
   // Operation mix in percent (may be fractional); must sum to 100.
   double insert_pct = 50;

@@ -138,8 +138,9 @@ class ChromaticTree {
       const Key ik = std::max(k, s.l->key);
       Node* ni = (k < s.l->key) ? mk_internal(ik, iw, nl, lc)
                                 : mk_internal(ik, iw, lc, nl);
-      Policy::init_internal_for_insert(ni, ni->child[0].load(std::memory_order_relaxed),
-                                       ni->child[1].load(std::memory_order_relaxed));
+      Policy::init_internal_for_insert(
+          ni, ni->child[0].load(std::memory_order_relaxed),
+          ni->child[1].load(std::memory_order_relaxed));
       const bool red_red = (iw == 0 && s.p->weight == 0);
       LlxSnap v[2] = {ps, ls};
       if (scx(v, 2, 1, &s.p->child[d], ni)) {
@@ -427,10 +428,12 @@ class ChromaticTree {
       Node* stop;
       if (dl == 0) {
         p2 = mk_internal(p->key, 0, l, ss.child(0));
-        stop = mk_internal(s->key, clamp_weight(gp, p->weight), p2, ss.child(1));
+        stop =
+            mk_internal(s->key, clamp_weight(gp, p->weight), p2, ss.child(1));
       } else {
         p2 = mk_internal(p->key, 0, ss.child(1), l);
-        stop = mk_internal(s->key, clamp_weight(gp, p->weight), ss.child(0), p2);
+        stop =
+            mk_internal(s->key, clamp_weight(gp, p->weight), ss.child(0), p2);
       }
       LlxSnap v[3] = {gps, ps, ss};
       if (scx(v, 3, 1, &gp->child[dp], stop)) {
@@ -456,9 +459,10 @@ class ChromaticTree {
       if (llx(l, &ls) != LlxStatus::kOk) return false;
       Node* l2 = clone_with_weight(l, ls, l->weight - 1);
       Node* s2 = clone_with_weight(s, ss, s->weight - 1);
-      Node* p2 = (dl == 0)
-                     ? mk_internal(p->key, clamp_weight(gp, p->weight + 1), l2, s2)
-                     : mk_internal(p->key, clamp_weight(gp, p->weight + 1), s2, l2);
+      Node* p2 =
+          (dl == 0)
+              ? mk_internal(p->key, clamp_weight(gp, p->weight + 1), l2, s2)
+              : mk_internal(p->key, clamp_weight(gp, p->weight + 1), s2, l2);
       LlxSnap v[4] = {gps, ps, ls, ss};
       if (scx(v, 4, 1, &gp->child[dp], p2)) {
         retire_node(p);

@@ -43,9 +43,9 @@ struct BatVersionPolicy {
   using V = Version<Aug>;
 
   static void init_leaf(Node* n) {
-    auto* v = pool_new<V>(nullptr, nullptr, n->key,
-                    is_sentinel_key(n->key) ? Aug::sentinel() : Aug::leaf(n->key),
-                    nullptr);
+    auto* v = pool_new<V>(
+        nullptr, nullptr, n->key,
+        is_sentinel_key(n->key) ? Aug::sentinel() : Aug::leaf(n->key), nullptr);
     n->version.store(v, std::memory_order_release);
   }
 
@@ -277,7 +277,8 @@ class BatTree {
       xr = x->child[1].load(std::memory_order_acquire);
       vr = read_version(xr);
     } while (x->child[1].load(std::memory_order_acquire) != xr);
-    auto* nv = pool_new<V>(vl, vr, x->key, Aug::combine(vl->aug, vr->aug), nullptr);
+    auto* nv =
+        pool_new<V>(vl, vr, x->key, Aug::combine(vl->aug, vr->aug), nullptr);
     void* expected = nullptr;
     if (x->version.compare_exchange_strong(expected, nv,
                                            std::memory_order_acq_rel,

@@ -206,7 +206,8 @@ class FrBst {
   }
 
   static void set_internal_version(FrNode* n, V* vl, V* vr) {
-    auto* v = pool_new<V>(vl, vr, n->key, Aug::combine(vl->aug, vr->aug), nullptr);
+    auto* v =
+        pool_new<V>(vl, vr, n->key, Aug::combine(vl->aug, vr->aug), nullptr);
     n->version.store(v, std::memory_order_release);
   }
 
@@ -438,7 +439,8 @@ class FrBst {
       xr = x->child[1].load(std::memory_order_acquire);
       vr = version_of(xr);
     } while (x->child[1].load(std::memory_order_acquire) != xr);
-    auto* nv = pool_new<V>(vl, vr, x->key, Aug::combine(vl->aug, vr->aug), nullptr);
+    auto* nv =
+        pool_new<V>(vl, vr, x->key, Aug::combine(vl->aug, vr->aug), nullptr);
     Counters::bump(Counter::kRefreshCas);
     void* expected = old;
     if (x->version.compare_exchange_strong(expected, nv,

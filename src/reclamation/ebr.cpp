@@ -59,7 +59,8 @@ void Ebr::try_advance() {
   const int n = ThreadRegistry::instance().max_id();
   for (int t = 0; t < n; ++t) {
     const std::uint64_t a = ctxs_[t]->announce.load(std::memory_order_seq_cst);
-    if (a != kQuiescent && a != e) return;  // someone is still in an older epoch
+    // Someone is still in an older epoch.
+    if (a != kQuiescent && a != e) return;
   }
   std::uint64_t expected = e;
   epoch_.compare_exchange_strong(expected, e + 1, std::memory_order_seq_cst);

@@ -20,7 +20,8 @@ inline void cpu_relax() {
 
 class Backoff {
  public:
-  explicit Backoff(std::uint32_t max_spins = 1024) : limit_(1), max_(max_spins) {}
+  explicit Backoff(std::uint32_t max_spins = 1024)
+      : limit_(1), max_(max_spins) {}
 
   void pause() {
     for (std::uint32_t i = 0; i < limit_; ++i) cpu_relax();

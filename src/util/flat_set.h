@@ -14,7 +14,9 @@ namespace cbat {
 
 class FlatPtrSet {
  public:
-  explicit FlatPtrSet(std::size_t initial_capacity = 64) { init(initial_capacity); }
+  explicit FlatPtrSet(std::size_t initial_capacity = 64) {
+    init(initial_capacity);
+  }
 
   void clear() {
     ++stamp_;

@@ -11,7 +11,9 @@ ZipfGenerator::ZipfGenerator(std::uint64_t n, double theta)
   s_ = 2.0 - h_integral_inverse(h_integral(2.5) - h(2.0));
 }
 
-double ZipfGenerator::h(double x) const { return std::exp(-theta_ * std::log(x)); }
+double ZipfGenerator::h(double x) const {
+  return std::exp(-theta_ * std::log(x));
+}
 
 double ZipfGenerator::h_integral(double x) const {
   const double log_x = std::log(x);
@@ -33,15 +35,17 @@ double ZipfGenerator::h_integral_inverse(double x) const {
   if (std::fabs(t) > 1e-8) {
     v = std::log1p(t) / (1.0 - theta_);
   } else {
-    v = x * (1.0 - x * (1.0 - theta_) / 2.0 + x * x * (1.0 - theta_) * (1.0 - theta_) / 3.0);
+    v = x * (1.0 - x * (1.0 - theta_) / 2.0 +
+             x * x * (1.0 - theta_) * (1.0 - theta_) / 3.0);
   }
   return std::exp(v);
 }
 
 std::uint64_t ZipfGenerator::next(Xoshiro256& rng) const {
   while (true) {
-    const double u = h_integral_num_elements_ +
-                     rng.uniform01() * (h_integral_x1_ - h_integral_num_elements_);
+    const double u =
+        h_integral_num_elements_ +
+        rng.uniform01() * (h_integral_x1_ - h_integral_num_elements_);
     const double x = h_integral_inverse(u);
     std::uint64_t k = static_cast<std::uint64_t>(x + 0.5);
     if (k < 1) k = 1;

@@ -10,7 +10,9 @@ namespace cbat {
 namespace {
 enum State : std::uintptr_t { kClean = 0, kIFlag = 1, kDFlag = 2, kMark = 3 };
 inline State state_of(std::uintptr_t w) { return static_cast<State>(w & 3); }
-inline std::uintptr_t ptr_bits(std::uintptr_t w) { return w & ~std::uintptr_t{3}; }
+inline std::uintptr_t ptr_bits(std::uintptr_t w) {
+  return w & ~std::uintptr_t{3};
+}
 }  // namespace
 
 struct VcasBst::Info : RefCountedDescriptor {

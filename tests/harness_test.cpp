@@ -161,8 +161,13 @@ TEST(Driver, RunsAndCountsOps) {
   EXPECT_GT(r.queries, 0);
   EXPECT_GT(r.seconds, 0.05);
   EXPECT_NEAR(static_cast<double>(r.updates) / r.total_ops, 0.5, 0.1);
-  EXPECT_GT(r.update_latency_ns, 0);
-  EXPECT_GT(r.query_latency_ns, 0);
+  EXPECT_GT(r.update_latency.count, 0);
+  EXPECT_GT(r.update_latency.p50_ns, 0);
+  EXPECT_LE(r.update_latency.p50_ns, r.update_latency.p99_ns);
+  EXPECT_GT(r.query_latency.count, 0);
+  EXPECT_GT(r.query_latency.p50_ns, 0);
+  EXPECT_LE(r.query_latency.p50_ns, r.query_latency.p99_ns);
+  EXPECT_GT(r.find_latency.count, 0);
 }
 
 TEST(Driver, PrefillReachesTarget) {

@@ -1,0 +1,209 @@
+// Minimal recursive-descent JSON parser used only by tests, to prove the
+// writer's output round-trips.  Supports the full value grammar the bench
+// schema uses; throws std::runtime_error on malformed input.
+#pragma once
+
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace cbat::testjson {
+
+struct Value;
+using ValuePtr = std::shared_ptr<Value>;
+
+struct Value {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool b = false;
+  double num = 0;
+  std::string str;
+  std::vector<ValuePtr> arr;
+  std::map<std::string, ValuePtr> obj;
+
+  bool is_null() const { return kind == Kind::kNull; }
+  const Value& at(const std::string& k) const {
+    auto it = obj.find(k);
+    if (kind != Kind::kObject || it == obj.end()) {
+      throw std::runtime_error("missing key: " + k);
+    }
+    return *it->second;
+  }
+  bool has(const std::string& k) const {
+    return kind == Kind::kObject && obj.count(k) > 0;
+  }
+  const Value& item(std::size_t i) const {
+    if (kind != Kind::kArray || i >= arr.size()) {
+      throw std::runtime_error("bad array index");
+    }
+    return *arr[i];
+  }
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& s) : s_(s) {}
+
+  ValuePtr parse() {
+    ValuePtr v = parse_value();
+    skip_ws();
+    if (pos_ != s_.size()) throw std::runtime_error("trailing garbage");
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= s_.size()) throw std::runtime_error("unexpected end");
+    return s_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) {
+      throw std::runtime_error(std::string("expected '") + c + "' at " +
+                               std::to_string(pos_));
+    }
+    ++pos_;
+  }
+
+  bool consume_literal(const char* lit) {
+    const std::size_t n = std::strlen(lit);
+    if (s_.compare(pos_, n, lit) == 0) {
+      pos_ += n;
+      return true;
+    }
+    return false;
+  }
+
+  ValuePtr parse_value() {
+    const char c = peek();
+    auto v = std::make_shared<Value>();
+    if (c == '{') {
+      v->kind = Value::Kind::kObject;
+      expect('{');
+      if (peek() != '}') {
+        while (true) {
+          std::string key = parse_string_raw();
+          expect(':');
+          v->obj[key] = parse_value();
+          if (peek() == ',') {
+            ++pos_;
+            continue;
+          }
+          break;
+        }
+      }
+      expect('}');
+    } else if (c == '[') {
+      v->kind = Value::Kind::kArray;
+      expect('[');
+      if (peek() != ']') {
+        while (true) {
+          v->arr.push_back(parse_value());
+          if (peek() == ',') {
+            ++pos_;
+            continue;
+          }
+          break;
+        }
+      }
+      expect(']');
+    } else if (c == '"') {
+      v->kind = Value::Kind::kString;
+      v->str = parse_string_raw();
+    } else if (c == 't') {
+      if (!consume_literal("true")) throw std::runtime_error("bad literal");
+      v->kind = Value::Kind::kBool;
+      v->b = true;
+    } else if (c == 'f') {
+      if (!consume_literal("false")) throw std::runtime_error("bad literal");
+      v->kind = Value::Kind::kBool;
+      v->b = false;
+    } else if (c == 'n') {
+      if (!consume_literal("null")) throw std::runtime_error("bad literal");
+      v->kind = Value::Kind::kNull;
+    } else {
+      v->kind = Value::Kind::kNumber;
+      char* end = nullptr;
+      v->num = std::strtod(s_.c_str() + pos_, &end);
+      if (end == s_.c_str() + pos_) throw std::runtime_error("bad number");
+      pos_ = static_cast<std::size_t>(end - s_.c_str());
+    }
+    return v;
+  }
+
+  std::string parse_string_raw() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= s_.size()) throw std::runtime_error("unterminated string");
+      char c = s_[pos_++];
+      if (c == '"') break;
+      if (c == '\\') {
+        if (pos_ >= s_.size()) throw std::runtime_error("bad escape");
+        char e = s_[pos_++];
+        switch (e) {
+          case '"':
+            out += '"';
+            break;
+          case '\\':
+            out += '\\';
+            break;
+          case '/':
+            out += '/';
+            break;
+          case 'b':
+            out += '\b';
+            break;
+          case 'f':
+            out += '\f';
+            break;
+          case 'n':
+            out += '\n';
+            break;
+          case 'r':
+            out += '\r';
+            break;
+          case 't':
+            out += '\t';
+            break;
+          case 'u': {
+            if (pos_ + 4 > s_.size()) throw std::runtime_error("bad \\u");
+            const unsigned long cp =
+                std::strtoul(s_.substr(pos_, 4).c_str(), nullptr, 16);
+            pos_ += 4;
+            // The writer only emits \u00xx for control characters, so a
+            // single byte suffices here.
+            if (cp > 0xff) throw std::runtime_error("unsupported \\u");
+            out += static_cast<char>(cp);
+            break;
+          }
+          default:
+            throw std::runtime_error("bad escape char");
+        }
+      } else {
+        out += c;
+      }
+    }
+    return out;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+inline ValuePtr parse(const std::string& s) { return Parser(s).parse(); }
+
+}  // namespace cbat::testjson
