@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Smoke-scale benchmark run: every scenario at --smoke parameters, one
 # JSON file out.  Used by the CI smoke-bench job and for refreshing the
-# committed baseline (bench/baselines/BENCH_smoke.json).
+# committed baseline (bench/baselines/BENCH_smoke.json).  --all includes
+# the shard-layer scenarios (shard_sweep is regression-gated alongside
+# the figure scenarios; shard_hotspot stays informational).
 #
 #   scripts/bench_smoke.sh [OUT.json]       # default: BENCH_smoke.json
 #

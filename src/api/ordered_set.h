@@ -51,6 +51,15 @@ concept RankedSet = OrderedSet<S> &&
       { cs.select(i) } -> std::convertible_to<std::optional<Key>>;
     };
 
+// Optional extension: structures that partition or pre-size by key range
+// (the shard layer) accept an advisory hint that keys will be drawn from
+// [0, max_key).  Returns whether the hint was applied; implementations may
+// ignore it (e.g. once populated).
+template <class S>
+concept KeyRangeHintable = requires(S s, Key k) {
+  { s.key_range_hint(k) } -> std::same_as<bool>;
+};
+
 // Type-erased view of a registered structure.  All operations are
 // linearizable and safe to call from any number of threads.
 class AbstractOrderedSet {
@@ -69,6 +78,11 @@ class AbstractOrderedSet {
   virtual std::int64_t range_count(Key lo, Key hi) = 0;
   virtual std::int64_t rank(Key k) = 0;
   virtual Key select_query(std::int64_t i) = 0;
+
+  // Advisory: keys will be drawn from [0, max_key).  The benchmark driver
+  // calls this before prefilling; structures without a use for it (all the
+  // single trees) keep the no-op default.  Returns whether it was applied.
+  virtual bool set_key_range_hint(Key /*max_key*/) { return false; }
 
   const std::string& name() const { return name_; }
   void set_name(std::string name) { name_ = std::move(name); }
@@ -100,6 +114,11 @@ class SetModel final : public AbstractOrderedSet {
   Key select_query(std::int64_t i) override {
     if constexpr (RankedSet<T>) return t_.select(i).value_or(0);
     return kInf2;
+  }
+
+  bool set_key_range_hint(Key max_key) override {
+    if constexpr (KeyRangeHintable<T>) return t_.key_range_hint(max_key);
+    return false;
   }
 
   T& tree() { return t_; }

@@ -8,6 +8,7 @@
 #include "chromatic/chromatic_set.h"
 #include "core/bat_tree.h"
 #include "frbst/frbst.h"
+#include "shard/sharded_set.h"
 #include "vcasbst/vcas_bst.h"
 
 namespace cbat::api {
@@ -22,6 +23,12 @@ static_assert(RankedSet<VcasBst>);
 static_assert(RankedSet<VerBTree>);
 static_assert(RankedSet<BundledTree>);
 static_assert(OrderedSet<ChromaticSet> && !RankedSet<ChromaticSet>);
+// The shard layer composes BATs and must satisfy the same contract as one,
+// plus the key-range hint the driver uses to align the shard map.
+static_assert(RankedSet<ShardedSet<Bat<SizeAug>, 16>>);
+static_assert(KeyRangeHintable<ShardedSet<Bat<SizeAug>, 16>>);
+static_assert(RankedSet<ShardedSet<BatDel<SizeAug>, 16>>);
+static_assert(!KeyRangeHintable<Bat<SizeAug>>);
 
 namespace {
 std::mutex& registry_mutex() {
@@ -45,6 +52,13 @@ StructureRegistry::StructureRegistry() {
   register_type<VerBTree>("VerlibBTree", /*in_comparison=*/true);
   register_type<BundledTree>("BundledCitrusTree", /*in_comparison=*/true);
   register_type<ChromaticSet>("ChromaticSet", /*in_comparison=*/false);
+  // The sharded BAT forests (shard layer).  Not in the paper's comparison
+  // set — they have their own scenarios (shard_sweep, shard_hotspot).
+  register_type<ShardedSet<Bat<SizeAug>, 1>>("Sharded1-BAT");
+  register_type<ShardedSet<Bat<SizeAug>, 4>>("Sharded4-BAT");
+  register_type<ShardedSet<Bat<SizeAug>, 16>>("Sharded16-BAT");
+  register_type<ShardedSet<Bat<SizeAug>, 64>>("Sharded64-BAT");
+  register_type<ShardedSet<BatDel<SizeAug>, 16>>("Sharded16-BAT-Del");
 }
 
 void StructureRegistry::register_structure(std::string name, Entry entry) {

@@ -12,33 +12,6 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
-// Fill the structure with uniform random keys until it holds half the key
-// range (paper §7 Setup).
-void prefill(SetAdapter& set, const Workload& w, int threads,
-             std::uint64_t seed) {
-  const std::int64_t target = w.max_key / 2;
-  std::atomic<std::int64_t> inserted{0};
-  std::vector<std::thread> ts;
-  for (int t = 0; t < threads; ++t) {
-    ts.emplace_back([&, t] {
-      Xoshiro256 rng(seed + 1000003ULL * static_cast<std::uint64_t>(t));
-      std::int64_t local = 0;
-      while (inserted.load(std::memory_order_relaxed) + local < target) {
-        const Key k = static_cast<Key>(
-            rng.below(static_cast<std::uint64_t>(w.max_key)));
-        if (set.insert(k)) {
-          if (++local == 256) {
-            inserted.fetch_add(local, std::memory_order_relaxed);
-            local = 0;
-          }
-        }
-      }
-      inserted.fetch_add(local, std::memory_order_relaxed);
-    });
-  }
-  for (auto& t : ts) t.join();
-}
-
 struct ThreadTotals {
   std::int64_t ops = 0;
   std::int64_t updates = 0;
@@ -121,6 +94,36 @@ void worker(SetAdapter& set, const RunConfig& cfg, int tid,
 
 }  // namespace
 
+void prefill(SetAdapter& set, const Workload& w, int threads,
+             std::uint64_t seed) {
+  const std::int64_t target = w.max_key / 2;
+  // Threads claim batches of successful inserts up front, with the last
+  // batch bounded by the remaining target, so the prefilled size is
+  // *exactly* target.  (The previous per-thread 256-op local counters were
+  // invisible to the other threads' termination checks, overshooting the
+  // target by up to threads*256 and skewing small-tree cells.)
+  constexpr std::int64_t kBatch = 256;
+  std::atomic<std::int64_t> claimed{0};
+  std::vector<std::thread> ts;
+  for (int t = 0; t < threads; ++t) {
+    ts.emplace_back([&, t] {
+      Xoshiro256 rng(seed + 1000003ULL * static_cast<std::uint64_t>(t));
+      while (true) {
+        const std::int64_t got =
+            claimed.fetch_add(kBatch, std::memory_order_relaxed);
+        if (got >= target) break;
+        const std::int64_t batch = std::min(kBatch, target - got);
+        for (std::int64_t done = 0; done < batch;) {
+          const Key k = static_cast<Key>(
+              rng.below(static_cast<std::uint64_t>(w.max_key)));
+          if (set.insert(k)) ++done;
+        }
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+}
+
 RunResult run_on(SetAdapter& set, const RunConfig& cfg) {
   if (cfg.workload.query_pct > 0 && !set.supports_order_statistics()) {
     std::fprintf(stderr,
@@ -128,6 +131,9 @@ RunResult run_on(SetAdapter& set, const RunConfig& cfg) {
                  "results in this run are the documented fallbacks\n",
                  set.name().c_str());
   }
+  // Let keyspace-aware structures (the shard layer) align their key map to
+  // the workload before any key goes in.
+  set.set_key_range_hint(cfg.workload.max_key);
   if (cfg.prefill) prefill(set, cfg.workload, cfg.threads, cfg.seed ^ 0xabcd);
 
   std::atomic<bool> stop{false};

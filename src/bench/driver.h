@@ -42,6 +42,13 @@ struct RunResult {
   double throughput() const { return total_ops / seconds; }
 };
 
+// Fills the structure with uniform random keys from [0, w.max_key) until
+// it holds exactly max_key/2 of them (paper §7 Setup).  Threads claim
+// bounded batches of successful inserts, so the final size is exact, not
+// overshot by in-flight per-thread counts.
+void prefill(SetAdapter& set, const Workload& w, int threads,
+             std::uint64_t seed);
+
 // Runs one (structure, config) cell.  Creates the structure fresh.
 RunResult run_benchmark(const std::string& structure, const RunConfig& cfg);
 

@@ -13,6 +13,7 @@
 #include <algorithm>
 #include <array>
 #include <bit>
+#include <cmath>
 #include <cstdint>
 
 namespace cbat::bench {
@@ -65,15 +66,31 @@ class LatencyHistogram {
   }
   std::uint64_t max() const { return max_; }
 
+  // The 1-based sample index a percentile query targets:
+  // clamp(ceil(p/100 * count), 1, count), computed in exact integer
+  // arithmetic.  p is decomposed into a rational with denominator 10^7
+  // (covering every percentile anyone writes, e.g. 99.99999), so the
+  // ceiling is exact for any count — the old float epsilon hack
+  // (`+ 0.9999999`) misrounded once p/100*count outgrew the epsilon's
+  // double-precision resolution (count around 2^53).
+  static std::int64_t percentile_target(double p, std::int64_t count) {
+    if (count <= 0) return 0;
+    const auto p_scaled = static_cast<std::int64_t>(std::llround(p * 1e7));
+    const unsigned __int128 denom = 1000000000ULL;  // 100 * 10^7
+    const unsigned __int128 num =
+        static_cast<unsigned __int128>(p_scaled < 0 ? 0 : p_scaled) *
+        static_cast<unsigned __int128>(count);
+    auto target = static_cast<std::int64_t>((num + denom - 1) / denom);
+    if (target < 1) target = 1;
+    if (target > count) target = count;
+    return target;
+  }
+
   // p in [0, 100].  Returns the bucket-midpoint value at or above which
   // ceil(p/100 * count) recorded samples lie below-or-at.
   double percentile(double p) const {
     if (count_ == 0) return 0.0;
-    std::int64_t target =
-        static_cast<std::int64_t>(p / 100.0 * static_cast<double>(count_) +
-                                  0.9999999);
-    if (target < 1) target = 1;
-    if (target > count_) target = count_;
+    const std::int64_t target = percentile_target(p, count_);
     std::int64_t seen = 0;
     for (int i = 0; i < kBucketCount; ++i) {
       seen += buckets_[i];

@@ -507,6 +507,98 @@ void run_table3(ScenarioContext& ctx) {
 }
 
 // ---------------------------------------------------------------------------
+// Shard-layer scenarios (ROADMAP: sharding).  Both emit the standard
+// schema_version-1 JSON document like every figure scenario.
+// ---------------------------------------------------------------------------
+
+// shard_sweep: throughput vs shard count under an update-heavy mix with
+// cross-shard range queries (45-45-0-10), for uniform and Zipfian keys.
+// Sharded1-BAT is the single-shard control; near-linear separation from it
+// is the win the shard layer exists for, and the Zipfian series shows it
+// shrinking as the hot shard serializes updates.
+void run_shard_sweep(ScenarioContext& ctx) {
+  const Args& args = *ctx.args;
+  const long maxkey = pick(args, "--maxkey", 10000000, 20000, 100000);
+  const long rq = pick(args, "--rq", 50000, 1000, 5000);
+  const long tt = ctx.fixed_threads();
+  const int ms = ctx.cell_ms();
+  const auto shard_counts =
+      pick_list(args, "--shards", {1, 4, 16, 64}, {1, 16}, {1, 4, 16});
+
+  struct Dist {
+    const char* name;
+    KeyDist dist;
+    double theta;
+  };
+  const Dist dists[] = {
+      {"uniform", KeyDist::kUniform, 0},
+      {"zipf-0.95", KeyDist::kZipf, 0.95},
+  };
+
+  const std::string table = "shard_sweep: TT " + std::to_string(tt) +
+                            ", MK " + std::to_string(maxkey) + ", RQ " +
+                            std::to_string(rq) +
+                            ", 45-45-0-10 — throughput (ops/s)";
+  for (const Dist& d : dists) {
+    for (long n : shard_counts) {
+      const std::string structure = "Sharded" + std::to_string(n) + "-BAT";
+      if (!api::StructureRegistry::instance().contains(structure)) {
+        std::fprintf(stderr, "  [skip] %s is not registered\n",
+                     structure.c_str());
+        continue;
+      }
+      RunConfig cfg;
+      cfg.workload.insert_pct = 45;
+      cfg.workload.delete_pct = 45;
+      cfg.workload.query_pct = 10;
+      cfg.workload.query_kind = QueryKind::kRange;
+      cfg.workload.rq_size = std::min<long>(rq, maxkey / 4);
+      cfg.workload.max_key = maxkey;
+      cfg.workload.dist = d.dist;
+      cfg.workload.zipf_theta = d.theta;
+      cfg.threads = static_cast<int>(tt);
+      cfg.duration_ms = ms;
+      ctx.record(table, "shards", std::to_string(n), d.name, structure, cfg);
+    }
+  }
+}
+
+// shard_hotspot: Zipf theta sweep of Sharded16-BAT against a single BAT on
+// a pure-update mix.  Contiguous sharding sends the Zipf head keys to one
+// shard, so rising skew concentrates updates there and erases the sharding
+// win; the crossover theta is the number this scenario exists to plot.
+void run_shard_hotspot(ScenarioContext& ctx) {
+  const Args& args = *ctx.args;
+  const long maxkey = pick(args, "--maxkey", 10000000, 20000, 100000);
+  const long tt = ctx.fixed_threads();
+  const int ms = ctx.cell_ms();
+  const std::vector<double> thetas =
+      args.full_scale()
+          ? std::vector<double>{0.5, 0.7, 0.8, 0.9, 0.95, 0.99, 1.1}
+          : (args.smoke() ? std::vector<double>{0.6, 0.99}
+                          : std::vector<double>{0.6, 0.8, 0.99});
+
+  const std::string table = "shard_hotspot: TT " + std::to_string(tt) +
+                            ", MK " + std::to_string(maxkey) +
+                            ", 50-50-0-0 Zipfian — throughput (ops/s)";
+  for (const char* s : {"BAT", "Sharded16-BAT"}) {
+    for (double theta : thetas) {
+      char xbuf[16];
+      std::snprintf(xbuf, sizeof(xbuf), "%g", theta);
+      RunConfig cfg;
+      cfg.workload.insert_pct = 50;
+      cfg.workload.delete_pct = 50;
+      cfg.workload.max_key = maxkey;
+      cfg.workload.dist = KeyDist::kZipf;
+      cfg.workload.zipf_theta = theta;
+      cfg.threads = static_cast<int>(tt);
+      cfg.duration_ms = ms;
+      ctx.record(table, "theta", xbuf, s, s, cfg);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Micro-kernel scenarios: the former google-benchmark binaries, re-hosted
 // on a plain calibrated timing loop so they need no external library and
 // share the JSON schema.
@@ -775,6 +867,14 @@ void register_builtin_scenarios(ScenarioRegistry& reg) {
            "Table 3: per-Propagate statistics (nodes, nil fills, CASes, "
            "delegations)",
            run_table3});
+  reg.add({"shard_sweep",
+           "Shard layer: throughput vs shard count, uniform and Zipfian "
+           "keys",
+           run_shard_sweep});
+  reg.add({"shard_hotspot",
+           "Shard layer: Zipf theta sweep showing where a hot shard erases "
+           "the win",
+           run_shard_hotspot});
   reg.add({"micro_components",
            "Micro: component kernels (EBR guard, Zipf, flat set, propagate, "
            "queries)",

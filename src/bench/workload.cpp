@@ -1,5 +1,6 @@
 #include "bench/workload.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 
@@ -43,19 +44,40 @@ OpStream::OpStream(const Workload& w, std::uint64_t seed,
     zipf_ = std::make_unique<ZipfGenerator>(
         static_cast<std::uint64_t>(w.max_key), w.zipf_theta);
   }
+  // Thresholds are rounded *cumulative* percentages, so per-class rounding
+  // never accumulates: a 0% class gets equal adjacent thresholds (zero
+  // width), and the final class absorbs the remainder exactly.  (Rounding
+  // each class's width separately truncated up to 1 below each threshold,
+  // leaving a ~2^-32 window in which a nominally 0%-query mix still
+  // emitted queries — and could hit structures without order statistics.)
   const double scale = 4294967296.0 / 100.0;  // percent -> 2^32 range
-  t_insert_ = static_cast<std::uint64_t>(w.insert_pct * scale);
-  t_delete_ = t_insert_ + static_cast<std::uint64_t>(w.delete_pct * scale);
-  t_find_ = t_delete_ + static_cast<std::uint64_t>(w.find_pct * scale);
+  const auto threshold = [&](double cumulative_pct) {
+    const auto t =
+        static_cast<std::uint64_t>(std::llround(cumulative_pct * scale));
+    return std::min<std::uint64_t>(t, 1ULL << 32);
+  };
+  t_insert_ = threshold(w.insert_pct);
+  t_delete_ = threshold(w.insert_pct + w.delete_pct);
+  t_find_ = threshold(w.insert_pct + w.delete_pct + w.find_pct);
+  // A mix summing to 100 with no queries must make kQuery unreachable even
+  // if the doubles above do not sum to exactly 100.
+  if (w.query_pct <= 0) {
+    t_find_ = 1ULL << 32;
+    if (w.find_pct <= 0) {
+      t_delete_ = t_find_;
+      if (w.delete_pct <= 0) t_insert_ = t_delete_;
+    }
+  }
 }
 
-OpStream::Op OpStream::next_op() {
-  const std::uint64_t r = rng_.next() & 0xffffffffULL;
+OpStream::Op OpStream::op_for(std::uint64_t r) const {
   if (r < t_insert_) return Op::kInsert;
   if (r < t_delete_) return Op::kDelete;
   if (r < t_find_) return Op::kFind;
   return Op::kQuery;
 }
+
+OpStream::Op OpStream::next_op() { return op_for(rng_.next() & 0xffffffffULL); }
 
 Key OpStream::next_key() {
   switch (w_.dist) {
@@ -76,9 +98,15 @@ Key OpStream::next_key() {
 }
 
 Key OpStream::next_range_lo() {
-  const std::int64_t hi_bound = w_.max_key > w_.rq_size
-                                    ? w_.max_key - w_.rq_size
-                                    : 1;
+  // Clamp the nominal range width to the keyspace, then draw lo uniformly
+  // over every start that keeps the clamped range in bounds — including
+  // max_key - rq itself, which the old `max_key - rq_size` bound skipped.
+  // When the range covers the whole keyspace, draw lo over the keyspace
+  // instead: the old `hi_bound = 1` fallback pinned every such query to
+  // lo = 0, making each one an identical full-tree scan.
+  const std::int64_t eff = std::min<std::int64_t>(w_.rq_size, w_.max_key);
+  const std::int64_t hi_bound =
+      eff < w_.max_key ? w_.max_key - eff + 1 : std::max<Key>(w_.max_key, 1);
   return static_cast<Key>(rng_.below(static_cast<std::uint64_t>(hi_bound)));
 }
 

@@ -47,6 +47,10 @@ class OpStream {
            std::atomic<std::int64_t>* sorted_counter);
 
   Op next_op();
+  // Classifies one raw 32-bit draw against the mix thresholds; next_op()
+  // is op_for(rng).  Public so tests can assert exact threshold coverage
+  // (a 0% class must be unreachable for *every* r in [0, 2^32)).
+  Op op_for(std::uint64_t r) const;
   Key next_key();                 // key for insert/delete/find
   Key next_range_lo();            // lower bound for a range query
   std::int64_t snapshot_size_hint() const { return size_hint_; }

@@ -80,6 +80,7 @@ struct BatVersionPolicy {
 template <Augmentation Aug, Delegation Del = Delegation::kNone>
 class BatTree {
  public:
+  using AugType = Aug;
   using AugValue = typename Aug::Value;
   using V = Version<Aug>;
 
@@ -195,10 +196,26 @@ class BatTree {
     {
       return version_rank<Aug>(root_, k);
     }
+    std::int64_t rank_less(Key k) const
+      requires SizedAugmentation<Aug>
+    {
+      return version_rank_less<Aug>(root_, k);
+    }
     std::optional<Key> select(std::int64_t i) const
       requires SizedAugmentation<Aug>
     {
       return version_select<Aug>(root_, i);
+    }
+    std::optional<Key> select_in_range(Key lo, Key hi, std::int64_t i) const
+      requires SizedAugmentation<Aug>
+    {
+      return version_select_in_range<Aug>(root_, lo, hi, i);
+    }
+    std::optional<Key> floor(Key k) const {
+      return version_floor<Aug>(root_, k);
+    }
+    std::optional<Key> ceiling(Key k) const {
+      return version_ceiling<Aug>(root_, k);
     }
     std::int64_t range_count(Key lo, Key hi) const
       requires SizedAugmentation<Aug>

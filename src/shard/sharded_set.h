@@ -1,0 +1,291 @@
+// ShardedSet — a keyspace-partitioned forest of BATs (ROADMAP: sharding).
+//
+// The key range is split into NumShards contiguous sub-ranges, each served
+// by its own inner tree (default `Bat<SizeAug>`).  Updates touch exactly one
+// shard, so update throughput scales with the shard count instead of
+// serializing on one root Propagate; the price is that composite queries
+// must merge per-shard snapshots.  The merge is exactly the per-subtree
+// aggregate composition of Sela & Petrank's concurrent aggregate queries:
+//
+//   * size / range_count / range_aggregate: sum (combine) the per-shard
+//     answers — contiguity makes every middle shard a fully-covered subtree
+//     whose answer is its root version's supplementary field, O(1);
+//   * rank: prefix-sum the sizes of the shards entirely below the key's
+//     shard, then one O(log n) rank descent inside it;
+//   * select: binary-search the shard-size prefix sums for the owning
+//     shard, then one O(log n) `version_select` descent inside it.
+//
+// Consistency: each shard is a BAT, so every single-shard operation is
+// linearizable.  A `Snapshot` pins all shard root versions under one EBR
+// guard; all queries through one Snapshot see the same immutable forest
+// (multi-query consistency).  Because the roots are read one after another,
+// a cross-shard query is *quiescently consistent* rather than linearizable:
+// it sees every update that completed before the Snapshot was taken and no
+// update that started after it.  Making the cut linearizable (e.g. a global
+// version vector) is an open ROADMAP item.
+//
+// Shard map: shard_of(k) = clamp(k / width) with width = ceil(keyspace /
+// NumShards).  The keyspace defaults to `default_keyspace()` and can be
+// adapted to a workload with `key_range_hint(max_key)` *while the set is
+// empty* (the benchmark driver calls this before prefilling).  The map is
+// monotone, so order statistics compose across shards by construction; keys
+// outside [0, keyspace) are legal and simply land in the first or last
+// shard.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/bat_tree.h"
+#include "core/version_queries.h"
+#include "reclamation/ebr.h"
+#include "util/padded.h"
+
+namespace cbat {
+
+namespace shard_detail {
+
+// One process-wide keyspace default shared by every ShardedSet template
+// instance, so registry-created structures of any shard count agree.
+Key default_keyspace();
+void set_default_keyspace(Key keyspace);
+
+}  // namespace shard_detail
+
+// The inner structure must expose a *sized* augmentation (the cross-shard
+// prefix sums are shard sizes) and a pinned-root view; the BAT variants do.
+// (root_version_unsafe is safe here: every caller holds an EbrGuard for the
+// lifetime of the returned pointer.)
+template <class Inner>
+concept ShardableInner = requires(Inner t, const Inner ct, Key k) {
+  typename Inner::AugType;
+  requires SizedAugmentation<typename Inner::AugType>;
+  { t.insert(k) } -> std::same_as<bool>;
+  { t.erase(k) } -> std::same_as<bool>;
+  { ct.contains(k) } -> std::same_as<bool>;
+  { ct.root_version_unsafe() };
+};
+
+template <class Inner = Bat<SizeAug>, int NumShards = 16>
+  requires ShardableInner<Inner> && (NumShards >= 1)
+class ShardedSet {
+ public:
+  using Aug = typename Inner::AugType;
+  using AugValue = typename Aug::Value;
+  using V = Version<Aug>;
+
+  ShardedSet() : ShardedSet(shard_detail::default_keyspace()) {}
+  explicit ShardedSet(Key keyspace) { repartition(keyspace); }
+
+  static constexpr int num_shards() { return NumShards; }
+  Key keyspace() const { return keyspace_; }
+
+  // Adapts the shard map to keys drawn from [0, max_key).  Only honored
+  // while the set is empty — repartitioning a populated forest would strand
+  // keys in the wrong shard.  Not thread-safe against concurrent updates;
+  // call it before handing the set to worker threads.
+  bool key_range_hint(Key max_key) {
+    if (max_key <= 0) return false;
+    if (size() != 0) return false;
+    repartition(max_key);
+    return true;
+  }
+
+  // --- updates: exactly one shard, one EBR-guarded BAT update -------------
+
+  bool insert(Key k) { return shard(k).insert(k); }
+  bool erase(Key k) { return shard(k).erase(k); }
+
+  // --- queries -------------------------------------------------------------
+
+  bool contains(Key k) const { return shard(k).contains(k); }
+
+  // All composite queries pin one Snapshot so their per-shard reads merge a
+  // single consistent forest (see the header comment for the guarantee).
+  std::int64_t size() const { return Snapshot(*this).size(); }
+  std::int64_t rank(Key k) const { return Snapshot(*this).rank(k); }
+  std::optional<Key> select(std::int64_t i) const {
+    return Snapshot(*this).select(i);
+  }
+  std::int64_t range_count(Key lo, Key hi) const {
+    return Snapshot(*this).range_count(lo, hi);
+  }
+  AugValue range_aggregate(Key lo, Key hi) const {
+    return Snapshot(*this).range_aggregate(lo, hi);
+  }
+  std::optional<Key> select_in_range(Key lo, Key hi, std::int64_t i) const {
+    return Snapshot(*this).select_in_range(lo, hi, i);
+  }
+  std::optional<Key> floor(Key k) const { return Snapshot(*this).floor(k); }
+  std::optional<Key> ceiling(Key k) const {
+    return Snapshot(*this).ceiling(k);
+  }
+  std::vector<Key> range_collect(Key lo, Key hi, std::size_t limit = 0) const {
+    return Snapshot(*this).keys(lo, hi, limit);
+  }
+
+  // Pins every shard's root version under one epoch guard.  The shard-size
+  // prefix sums are materialized once (O(NumShards) reads of O(1) root
+  // fields), so each query after that costs O(log n) like a single BAT.
+  class Snapshot {
+   public:
+    explicit Snapshot(const ShardedSet& s) : owner_(&s) {
+      for (int i = 0; i < NumShards; ++i) {
+        roots_[i] = s.shards_[i]->root_version_unsafe();
+      }
+      prefix_[0] = 0;
+      for (int i = 0; i < NumShards; ++i) {
+        prefix_[i + 1] = prefix_[i] + version_size<Aug>(roots_[i]);
+      }
+    }
+    Snapshot(const Snapshot&) = delete;
+    Snapshot& operator=(const Snapshot&) = delete;
+
+    bool contains(Key k) const {
+      return version_contains<Aug>(root_of(k), k);
+    }
+
+    std::int64_t size() const { return prefix_[NumShards]; }
+
+    // Keys <= k: the full shards below k's shard, by prefix sum, plus one
+    // rank descent inside it.
+    std::int64_t rank(Key k) const {
+      const int s = owner_->shard_of(k);
+      return prefix_[s] + version_rank<Aug>(roots_[s], k);
+    }
+
+    // Keys < k.
+    std::int64_t rank_less(Key k) const {
+      const int s = owner_->shard_of(k);
+      return prefix_[s] + version_rank_less<Aug>(roots_[s], k);
+    }
+
+    // i-th smallest key overall (1-based): binary-search the prefix sums
+    // for the owning shard, then select inside it.
+    std::optional<Key> select(std::int64_t i) const {
+      if (i < 1 || i > prefix_[NumShards]) return std::nullopt;
+      const auto it =
+          std::lower_bound(prefix_.begin() + 1, prefix_.end(), i);
+      const int s = static_cast<int>(it - prefix_.begin()) - 1;
+      return version_select<Aug>(roots_[s], i - prefix_[s]);
+    }
+
+    // Keys in [lo, hi]: two composite rank descents (the middle shards are
+    // absorbed by the prefix sums).
+    std::int64_t range_count(Key lo, Key hi) const {
+      if (lo > hi) return 0;
+      return rank(hi) - rank_less(lo);
+    }
+
+    // Aggregate over [lo, hi]: boundary shards answer partially, every
+    // fully-covered middle shard contributes its root's supplementary
+    // field in O(1), and contiguity keeps the combine in key order.
+    AugValue range_aggregate(Key lo, Key hi) const {
+      if (lo > hi) return Aug::sentinel();
+      const int slo = owner_->shard_of(lo);
+      const int shi = owner_->shard_of(hi);
+      if (slo == shi) {
+        return version_range_aggregate<Aug>(roots_[slo], lo, hi);
+      }
+      AugValue acc =
+          version_range_aggregate<Aug>(roots_[slo], lo, kMaxUserKey);
+      for (int s = slo + 1; s < shi; ++s) {
+        acc = Aug::combine(acc, roots_[s]->aug);
+      }
+      return Aug::combine(
+          acc, version_range_aggregate<Aug>(
+                   roots_[shi], std::numeric_limits<Key>::min(), hi));
+    }
+
+    // i-th smallest key within [lo, hi] (1-based), all on this snapshot.
+    std::optional<Key> select_in_range(Key lo, Key hi,
+                                       std::int64_t i) const {
+      if (lo > hi || i < 1) return std::nullopt;
+      const std::int64_t before = rank_less(lo);
+      if (i > rank(hi) - before) return std::nullopt;
+      return select(before + i);
+    }
+
+    // Largest key <= k: try k's shard, then walk down over empty-below
+    // shards (usually zero or one extra probe).
+    std::optional<Key> floor(Key k) const {
+      for (int s = owner_->shard_of(k); s >= 0; --s) {
+        if (auto r = version_floor<Aug>(roots_[s], k)) return r;
+      }
+      return std::nullopt;
+    }
+
+    // Smallest key >= k.
+    std::optional<Key> ceiling(Key k) const {
+      for (int s = owner_->shard_of(k); s < NumShards; ++s) {
+        if (auto r = version_ceiling<Aug>(roots_[s], k)) return r;
+      }
+      return std::nullopt;
+    }
+
+    // All keys in [lo, hi] in order; shard contiguity makes simple
+    // per-shard concatenation sorted.
+    std::vector<Key> keys(Key lo = std::numeric_limits<Key>::min(),
+                          Key hi = kMaxUserKey,
+                          std::size_t limit = 0) const {
+      std::vector<Key> out;
+      for (int s = 0; s < NumShards; ++s) {
+        version_collect_range<Aug>(roots_[s], lo, hi, &out, limit);
+        if (limit > 0 && out.size() >= limit) break;
+      }
+      return out;
+    }
+
+    const V* root(int s) const { return roots_[s]; }
+
+   private:
+    const V* root_of(Key k) const { return roots_[owner_->shard_of(k)]; }
+
+    EbrGuard guard_;
+    const ShardedSet* owner_;
+    std::array<const V*, NumShards> roots_;
+    std::array<std::int64_t, NumShards + 1> prefix_;
+  };
+
+  // Shard index owning key k; monotone non-decreasing in k, which is what
+  // lets rank/select compose by prefix sums.
+  int shard_of(Key k) const {
+    if (k <= 0) return 0;
+    const Key s = k / width_;
+    return s >= NumShards ? NumShards - 1 : static_cast<int>(s);
+  }
+
+  Inner& shard_at(int i) { return *shards_[i]; }
+  const Inner& shard_at(int i) const { return *shards_[i]; }
+
+ private:
+  Inner& shard(Key k) { return *shards_[shard_of(k)]; }
+  const Inner& shard(Key k) const { return *shards_[shard_of(k)]; }
+
+  void repartition(Key keyspace) {
+    keyspace_ = std::max<Key>(keyspace, NumShards);
+    // Overflow-free ceiling: keyspace_ may be as large as kInf2, where
+    // `(keyspace_ + NumShards - 1)` would wrap.
+    width_ = keyspace_ / NumShards + (keyspace_ % NumShards != 0 ? 1 : 0);
+  }
+
+  Key keyspace_ = 0;
+  Key width_ = 1;
+  // Padded: shards are updated by different threads; their tree roots must
+  // not share cache lines.
+  std::array<Padded<Inner>, NumShards> shards_;
+};
+
+// The shard counts the registry exposes ("Sharded4-BAT", ...); definitions
+// live in sharded_set.cpp so the template is compiled once.
+extern template class ShardedSet<Bat<SizeAug>, 1>;
+extern template class ShardedSet<Bat<SizeAug>, 4>;
+extern template class ShardedSet<Bat<SizeAug>, 16>;
+extern template class ShardedSet<Bat<SizeAug>, 64>;
+extern template class ShardedSet<BatDel<SizeAug>, 16>;
+
+}  // namespace cbat

@@ -238,15 +238,18 @@ TEST(BatConcurrent, QueriesSeeConsistentSnapshots) {
     for (int i = 0; i < 3000; ++i) {
       typename Tree::Snapshot snap(t);
       const auto n = snap.size();
-      // All evens are permanently present: rank over evens is exact.
-      if (snap.rank(1998) != n) bad.fetch_add(1);
+      // Every key (evens 0..1998, odds up to 1999) is <= 1999, so the
+      // whole-range rank is exactly the snapshot size.  (This used to
+      // probe 1998, which undercounts whenever the updater's largest odd
+      // key 1999 is present in the snapshot.)
+      if (snap.rank(1999) != n) bad.fetch_add(1);
       if (n > 0) {
         const auto k = snap.select(n);
         if (!k.has_value() || snap.rank(*k) != n) bad.fetch_add(1);
       }
       // Evens never disappear.
       if (!snap.contains(1000)) bad.fetch_add(1);
-      if (snap.range_count(0, 1998) != n) bad.fetch_add(1);
+      if (snap.range_count(0, 1999) != n) bad.fetch_add(1);
     }
   });
 

@@ -213,6 +213,48 @@ TEST(LatencyHistogram, EmptyHistogramIsZero) {
   EXPECT_DOUBLE_EQ(h.mean(), 0);
 }
 
+TEST(LatencyHistogram, PercentileBoundaries) {
+  LatencyHistogram one;
+  one.record(7);
+  // count=1: every percentile is the single sample.
+  EXPECT_DOUBLE_EQ(one.percentile(0), 7);
+  EXPECT_DOUBLE_EQ(one.percentile(50), 7);
+  EXPECT_DOUBLE_EQ(one.percentile(100), 7);
+
+  LatencyHistogram h;
+  for (std::uint64_t v = 1; v <= 10; ++v) h.record(v);
+  // p=0 clamps to the first sample, p=100 to the last.
+  EXPECT_DOUBLE_EQ(h.percentile(0), 1);
+  EXPECT_DOUBLE_EQ(h.percentile(100), 10);
+  // Exact-integer targets: p/100*count integral must not round up.
+  EXPECT_DOUBLE_EQ(h.percentile(10), 1);   // target exactly 1
+  EXPECT_DOUBLE_EQ(h.percentile(50), 5);   // target exactly 5
+  EXPECT_DOUBLE_EQ(h.percentile(90), 9);   // target exactly 9
+  // Fractional targets take the ceiling.
+  EXPECT_DOUBLE_EQ(h.percentile(51), 6);   // ceil(5.1) = 6
+  EXPECT_DOUBLE_EQ(h.percentile(0.1), 1);  // ceil(0.01) = 1
+}
+
+TEST(LatencyHistogram, PercentileTargetIsExactIntegerCeiling) {
+  using H = LatencyHistogram;
+  // Small exact cases.
+  EXPECT_EQ(H::percentile_target(0, 100), 1);    // clamped up to 1
+  EXPECT_EQ(H::percentile_target(100, 100), 100);
+  EXPECT_EQ(H::percentile_target(50, 100), 50);  // exact, no round-up
+  EXPECT_EQ(H::percentile_target(50, 101), 51);  // ceil(50.5)
+  EXPECT_EQ(H::percentile_target(99, 1), 1);
+  EXPECT_EQ(H::percentile_target(99.99, 10000), 9999);
+  EXPECT_EQ(H::percentile_target(99.99, 10001), 10000);  // ceil(10000.0001)
+  EXPECT_EQ(H::percentile_target(100, 0), 0);
+  // Counts beyond double's integer resolution (2^53): the old
+  // float-epsilon hack (int(p/100*count + 0.9999999)) loses the epsilon
+  // and misses the ceiling here.
+  const std::int64_t big = (1LL << 54) + 2;
+  EXPECT_EQ(H::percentile_target(50, big), (1LL << 53) + 1);
+  EXPECT_EQ(H::percentile_target(100, big), big);
+  EXPECT_EQ(H::percentile_target(25, (1LL << 54) + 4), (1LL << 52) + 1);
+}
+
 // ---------------------------------------------------------------------------
 // Schema round trip: a synthetic RunRecord through bench_json_document and
 // back through the parser, checking the fields scripts/compare_bench.py

@@ -23,8 +23,8 @@ using bench::make_structure;
 
 const std::vector<std::string>& names() {
   static const std::vector<std::string> v = {
-      "BAT",     "BAT-Del",     "BAT-EagerDel",     "FR-BST",
-      "VcasBST", "VerlibBTree", "BundledCitrusTree"};
+      "BAT",     "BAT-Del",     "BAT-EagerDel",      "FR-BST",
+      "VcasBST", "VerlibBTree", "BundledCitrusTree", "Sharded16-BAT"};
   return v;
 }
 

@@ -86,6 +86,40 @@ TEST(Registry, NonRankedStructureUsesDocumentedFallbacks) {
   EXPECT_EQ(set->select_query(1), kInf2);
 }
 
+TEST(Registry, ShardedStructureNamesResolve) {
+  auto& reg = StructureRegistry::instance();
+  for (const char* name : {"Sharded1-BAT", "Sharded4-BAT", "Sharded16-BAT",
+                           "Sharded64-BAT", "Sharded16-BAT-Del"}) {
+    EXPECT_TRUE(reg.contains(name)) << name;
+    EXPECT_TRUE(reg.is_ranked(name)) << name;
+    auto set = reg.create(name);
+    ASSERT_NE(set, nullptr) << name;
+    EXPECT_EQ(set->name(), name);
+    EXPECT_TRUE(set->supports_order_statistics()) << name;
+    // The shard layer accepts the driver's key-range hint; single trees
+    // keep the no-op default.
+    EXPECT_TRUE(set->set_key_range_hint(10000)) << name;
+    // And behaves like any RankedSet through the type-erased interface.
+    EXPECT_TRUE(set->insert(5));
+    EXPECT_TRUE(set->insert(9999));  // last shard
+    EXPECT_EQ(set->size(), 2);
+    EXPECT_EQ(set->rank(9999), 2);
+    EXPECT_EQ(set->select_query(1), 5);
+    EXPECT_EQ(set->range_count(0, 10000), 2);
+    // Populated: the hint must now be refused.
+    EXPECT_FALSE(set->set_key_range_hint(20000)) << name;
+  }
+  // Not in the paper's Figures 6-9 comparison set.
+  const auto cmp = reg.comparison_set();
+  EXPECT_EQ(std::find(cmp.begin(), cmp.end(), "Sharded16-BAT"), cmp.end());
+}
+
+TEST(Registry, SingleTreesIgnoreKeyRangeHint) {
+  auto set = bench::make_structure("BAT");
+  ASSERT_NE(set, nullptr);
+  EXPECT_FALSE(set->set_key_range_hint(10000));
+}
+
 TEST(Registry, UserStructuresCanBeRegistered) {
   // A std::set-backed reference structure is itself a valid RankedSet —
   // registering it makes it available to the whole harness.

@@ -1,0 +1,267 @@
+// Tests for the shard layer (src/shard/sharded_set.h): shard-map algebra,
+// a std::set-oracle equivalence check for the cross-shard order statistics
+// (exercising keys and ranges that straddle shard boundaries), snapshot
+// multi-query consistency, and a multi-threaded quiescent-consistency
+// check that is run under TSan in CI.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <optional>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "core/bat_tree.h"
+#include "shard/sharded_set.h"
+#include "util/random.h"
+
+namespace cbat {
+namespace {
+
+using Sharded4 = ShardedSet<Bat<SizeAug>, 4>;
+using Sharded16 = ShardedSet<Bat<SizeAug>, 16>;
+
+TEST(ShardedSet, ShardMapIsMonotoneAndCoversTheKeyspace) {
+  Sharded4 s(1000);
+  EXPECT_EQ(s.keyspace(), 1000);
+  EXPECT_EQ(s.num_shards(), 4);
+  int prev = 0;
+  for (Key k = 0; k < 1200; ++k) {
+    const int sh = s.shard_of(k);
+    ASSERT_GE(sh, prev) << k;  // monotone: order statistics compose
+    ASSERT_LT(sh, 4) << k;
+    prev = sh;
+  }
+  EXPECT_EQ(s.shard_of(0), 0);
+  EXPECT_EQ(s.shard_of(-5), 0);        // out-of-range keys clamp
+  EXPECT_EQ(s.shard_of(999), 3);
+  EXPECT_EQ(s.shard_of(1000000), 3);
+  EXPECT_EQ(s.shard_of(kMaxUserKey), 3);
+}
+
+TEST(ShardedSet, HugeKeyspaceDoesNotOverflowTheShardMap) {
+  // A keyspace near INT64_MAX must not wrap the ceiling in the width
+  // computation (which would make shard_of negative: out-of-bounds).
+  ShardedSet<Bat<SizeAug>, 64> s(kMaxUserKey);
+  EXPECT_EQ(s.shard_of(0), 0);
+  EXPECT_EQ(s.shard_of(kMaxUserKey / 2), 31);
+  EXPECT_EQ(s.shard_of(kMaxUserKey), 63);
+  EXPECT_TRUE(s.insert(kMaxUserKey));
+  EXPECT_TRUE(s.contains(kMaxUserKey));
+  EXPECT_EQ(s.rank(kMaxUserKey), 1);
+  EXPECT_EQ(s.select(1), kMaxUserKey);
+}
+
+TEST(ShardedSet, KeyRangeHintOnlyWhileEmpty) {
+  Sharded4 s(1000);
+  EXPECT_TRUE(s.key_range_hint(4000));
+  EXPECT_EQ(s.keyspace(), 4000);
+  EXPECT_FALSE(s.key_range_hint(0));
+  EXPECT_FALSE(s.key_range_hint(-7));
+  EXPECT_TRUE(s.insert(17));
+  EXPECT_FALSE(s.key_range_hint(8000)) << "populated set must refuse";
+  EXPECT_EQ(s.keyspace(), 4000);
+  EXPECT_TRUE(s.erase(17));
+  EXPECT_TRUE(s.key_range_hint(8000)) << "empty again, hint applies";
+}
+
+TEST(ShardedSet, DefaultKeyspaceKnobIsShared) {
+  const Key saved = shard_detail::default_keyspace();
+  shard_detail::set_default_keyspace(12345);
+  EXPECT_EQ(Sharded4().keyspace(), 12345);
+  EXPECT_EQ(Sharded16().keyspace(), 12345);
+  shard_detail::set_default_keyspace(saved);
+  EXPECT_EQ(Sharded4().keyspace(), saved);
+}
+
+// Reference implementation of every order statistic on a std::set.
+struct Oracle {
+  std::set<Key> s;
+
+  std::int64_t rank(Key k) const {
+    return static_cast<std::int64_t>(
+        std::distance(s.begin(), s.upper_bound(k)));
+  }
+  std::optional<Key> select(std::int64_t i) const {
+    if (i < 1 || i > static_cast<std::int64_t>(s.size())) return std::nullopt;
+    auto it = s.begin();
+    std::advance(it, i - 1);
+    return *it;
+  }
+  std::int64_t range_count(Key lo, Key hi) const {
+    if (lo > hi) return 0;
+    return static_cast<std::int64_t>(
+        std::distance(s.lower_bound(lo), s.upper_bound(hi)));
+  }
+};
+
+TEST(ShardedSet, OracleEquivalenceAcrossShardBoundaries) {
+  constexpr Key kKeyspace = 4000;  // shard width 1000 in Sharded4
+  Sharded4 set(kKeyspace);
+  Oracle oracle;
+  Xoshiro256 rng(42);
+
+  // Mixed random inserts/erases, biased around the three shard boundaries
+  // (1000/2000/3000) so boundary keys and straddling ranges are common.
+  for (int step = 0; step < 6000; ++step) {
+    Key k;
+    if (rng.below(4) == 0) {
+      const Key boundary = 1000 * static_cast<Key>(1 + rng.below(3));
+      k = boundary - 3 + static_cast<Key>(rng.below(7));
+    } else {
+      k = static_cast<Key>(rng.below(kKeyspace));
+    }
+    if (rng.below(3) == 0) {
+      EXPECT_EQ(set.erase(k), oracle.s.erase(k) > 0) << k;
+    } else {
+      EXPECT_EQ(set.insert(k), oracle.s.insert(k).second) << k;
+    }
+
+    if (step % 100 != 99) continue;
+    ASSERT_EQ(set.size(), static_cast<std::int64_t>(oracle.s.size()));
+    // Point queries at and around the boundaries.
+    for (Key q : {Key{0}, Key{999}, Key{1000}, Key{1001}, Key{2500},
+                  Key{3999}, Key{4500}}) {
+      ASSERT_EQ(set.contains(q), oracle.s.count(q) > 0) << q;
+      ASSERT_EQ(set.rank(q), oracle.rank(q)) << q;
+    }
+    // Selects across the whole size range, plus both out-of-range sides.
+    const std::int64_t n = set.size();
+    for (std::int64_t i : {std::int64_t{0}, std::int64_t{1}, n / 4, n / 2,
+                           n, n + 1}) {
+      ASSERT_EQ(set.select(i), oracle.select(i)) << i;
+    }
+    // Ranges that straddle one, two, and three boundaries, plus empty and
+    // degenerate ones.
+    const struct {
+      Key lo, hi;
+    } ranges[] = {{900, 1100},  {500, 2500},   {0, 3999},  {1000, 2999},
+                  {2500, 2500}, {3000, 2000},  {-50, 800}, {3900, 9999}};
+    for (const auto& r : ranges) {
+      ASSERT_EQ(set.range_count(r.lo, r.hi), oracle.range_count(r.lo, r.hi))
+          << r.lo << ".." << r.hi;
+    }
+  }
+}
+
+TEST(ShardedSet, CompositeQueriesAgreeOnOneSnapshot) {
+  Sharded4 set(4000);
+  for (Key k = 0; k < 4000; k += 7) set.insert(k);
+
+  Sharded4::Snapshot snap(set);
+  const std::int64_t n = snap.size();
+  ASSERT_GT(n, 0);
+  EXPECT_EQ(snap.range_count(std::numeric_limits<Key>::min(), kMaxUserKey),
+            n);
+  // select and rank are inverse on a snapshot.
+  for (std::int64_t i = 1; i <= n; i += 97) {
+    const auto k = snap.select(i);
+    ASSERT_TRUE(k.has_value()) << i;
+    EXPECT_EQ(snap.rank(*k), i) << i;
+  }
+  // select_in_range equals filtering by hand.
+  EXPECT_EQ(snap.select_in_range(995, 2005, 1), snap.ceiling(995));
+  EXPECT_EQ(snap.select_in_range(995, 2005, snap.range_count(995, 2005)),
+            snap.floor(2005));
+  EXPECT_EQ(snap.select_in_range(995, 2005, snap.range_count(995, 2005) + 1),
+            std::nullopt);
+  // keys() is sorted and consistent with range_count.
+  const auto keys = snap.keys(900, 3100);
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+  EXPECT_EQ(static_cast<std::int64_t>(keys.size()),
+            snap.range_count(900, 3100));
+  // Updates after the snapshot stay invisible to it.
+  const Key fresh = 4001;
+  ASSERT_TRUE(set.insert(fresh));
+  EXPECT_FALSE(snap.contains(fresh));
+  EXPECT_EQ(snap.size(), n);
+  EXPECT_TRUE(set.contains(fresh));
+}
+
+TEST(ShardedSet, RangeAggregateComposesAcrossShards) {
+  ShardedSet<Bat<SizeSumAug>, 4> set(4000);
+  std::int64_t sum = 0;
+  for (Key k = 10; k < 4000; k += 10) {
+    set.insert(k);
+    if (k >= 500 && k <= 3500) sum += k;
+  }
+  const auto agg = set.range_aggregate(500, 3500);
+  EXPECT_EQ(SizeSumAug::size_of(agg), set.range_count(500, 3500));
+  EXPECT_EQ(agg.second, sum);
+}
+
+// Quiescent consistency: concurrent mixed updates with concurrent
+// snapshot readers; each reader's snapshot must be internally consistent
+// at all times, and after quiescence the forest must equal a sequential
+// replay oracle cross-checked per shard.  TSan runs this in CI.
+TEST(ShardedSet, MultiThreadedQuiescentConsistency) {
+  constexpr Key kKeyspace = 1 << 14;
+  constexpr int kUpdaters = 3;
+  constexpr int kOpsPerThread = 20000;
+  Sharded16 set(kKeyspace);
+  std::atomic<bool> stop{false};
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kUpdaters; ++t) {
+    threads.emplace_back([&set, t] {
+      // Each thread owns keys congruent to t mod kUpdaters, so the final
+      // contents are deterministic despite interleaving.
+      Xoshiro256 rng(1000 + t);
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const Key k = static_cast<Key>(rng.below(kKeyspace) /
+                                       kUpdaters * kUpdaters) +
+                      t;
+        if (rng.below(3) == 0) {
+          set.erase(k);
+        } else {
+          set.insert(k);
+        }
+      }
+    });
+  }
+  std::thread reader([&set, &stop] {
+    while (!stop.load(std::memory_order_acquire)) {
+      Sharded16::Snapshot snap(set);
+      const std::int64_t n = snap.size();
+      // Internal consistency of one pinned snapshot.
+      ASSERT_EQ(snap.range_count(std::numeric_limits<Key>::min(),
+                                 kMaxUserKey),
+                n);
+      ASSERT_EQ(snap.rank(kMaxUserKey), n);
+      if (n > 0) {
+        const auto mid = snap.select((n + 1) / 2);
+        ASSERT_TRUE(mid.has_value());
+        ASSERT_EQ(snap.rank(*mid), (n + 1) / 2);
+        ASSERT_TRUE(snap.contains(*mid));
+      }
+      ASSERT_EQ(snap.select(n + 1), std::nullopt);
+    }
+  });
+  for (auto& t : threads) t.join();
+  stop.store(true, std::memory_order_release);
+  reader.join();
+
+  // Quiesced: replay each thread's deterministic stream sequentially.
+  std::set<Key> oracle;
+  for (int t = 0; t < kUpdaters; ++t) {
+    Xoshiro256 rng(1000 + t);
+    for (int i = 0; i < kOpsPerThread; ++i) {
+      const Key k = static_cast<Key>(rng.below(kKeyspace) /
+                                     kUpdaters * kUpdaters) +
+                    t;
+      if (rng.below(3) == 0) {
+        oracle.erase(k);
+      } else {
+        oracle.insert(k);
+      }
+    }
+  }
+  ASSERT_EQ(set.size(), static_cast<std::int64_t>(oracle.size()));
+  const auto keys = Sharded16::Snapshot(set).keys();
+  ASSERT_EQ(keys.size(), oracle.size());
+  EXPECT_TRUE(std::equal(keys.begin(), keys.end(), oracle.begin()));
+}
+
+}  // namespace
+}  // namespace cbat
