@@ -2,8 +2,9 @@
 # Tier-1 verification: configure, build everything, run the full ctest
 # suite.  Exits nonzero on the first failure.
 #
-#   scripts/verify.sh            # full suite
-#   scripts/verify.sh --unit     # fast unit tests only (ctest -L unit)
+#   scripts/verify.sh                # full suite
+#   scripts/verify.sh --unit         # fast unit tests only (ctest -L unit)
+#   scripts/verify.sh --filter RE    # tests matching RE only (ctest -R RE)
 #
 # Environment (used by the CI matrix; all optional):
 #   BUILD_DIR          build tree                       (default: build)
@@ -21,6 +22,10 @@ LABEL_ARGS=()
 if [[ "${1:-}" == "--unit" ]]; then
   LABEL_ARGS=(-L unit)
   shift
+elif [[ "${1:-}" == "--filter" ]]; then
+  [[ $# -ge 2 ]] || { echo "verify.sh: --filter needs a regex" >&2; exit 2; }
+  LABEL_ARGS=(-R "$2")
+  shift 2
 fi
 
 BUILD_DIR="${BUILD_DIR:-build}"
@@ -35,5 +40,7 @@ fi
 cmake -B "$BUILD_DIR" -S . "${CMAKE_ARGS[@]}"
 cmake --build "$BUILD_DIR" -j
 # Note: a bare `ctest -j` would swallow the next argument as its value.
-ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" \
-  "${LABEL_ARGS[@]}" "$@"
+# --no-tests=error keeps a stale --filter regex (or label) from going
+# vacuously green.
+ctest --test-dir "$BUILD_DIR" --output-on-failure --no-tests=error \
+  -j "$(nproc)" "${LABEL_ARGS[@]}" "$@"

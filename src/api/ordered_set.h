@@ -18,6 +18,7 @@
 #pragma once
 
 #include <concepts>
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -84,6 +85,14 @@ class AbstractOrderedSet {
   // single trees) keep the no-op default.  Returns whether it was applied.
   virtual bool set_key_range_hint(Key /*max_key*/) { return false; }
 
+  // Advisory: the calling thread expects to run about this many updates.
+  // Structures backed by per-thread object pools pre-fault their free
+  // lists so a fresh thread's first operations do not pay cold allocation
+  // (first-touch jitter pollutes latency percentiles).  The benchmark
+  // driver calls this from every prefill and worker thread before its
+  // first operation; the default is a no-op.
+  virtual void warm_up(std::size_t /*expected_updates*/) {}
+
   const std::string& name() const { return name_; }
   void set_name(std::string name) { name_ = std::move(name); }
 
@@ -119,6 +128,12 @@ class SetModel final : public AbstractOrderedSet {
   bool set_key_range_hint(Key max_key) override {
     if constexpr (KeyRangeHintable<T>) return t_.key_range_hint(max_key);
     return false;
+  }
+
+  void warm_up(std::size_t expected_updates) override {
+    if constexpr (requires(T t) { t.warm_up(expected_updates); }) {
+      t_.warm_up(expected_updates);
+    }
   }
 
   T& tree() { return t_; }

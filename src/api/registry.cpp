@@ -6,6 +6,7 @@
 #include "btree/verbtree.h"
 #include "bundled/bundled_tree.h"
 #include "chromatic/chromatic_set.h"
+#include "combine/combined_set.h"
 #include "core/bat_tree.h"
 #include "frbst/frbst.h"
 #include "shard/sharded_set.h"
@@ -29,6 +30,12 @@ static_assert(RankedSet<ShardedSet<Bat<SizeAug>, 16>>);
 static_assert(KeyRangeHintable<ShardedSet<Bat<SizeAug>, 16>>);
 static_assert(RankedSet<ShardedSet<BatDel<SizeAug>, 16>>);
 static_assert(!KeyRangeHintable<Bat<SizeAug>>);
+// The combining layer wraps a BAT without weakening its contract, and the
+// sharded-combined forest keeps the shard layer's key-range hint.
+static_assert(RankedSet<CombinedSet<Bat<SizeAug>>>);
+static_assert(CombinableInner<Bat<SizeAug>>);
+static_assert(RankedSet<ShardedSet<CombinedSet<Bat<SizeAug>>, 16>>);
+static_assert(KeyRangeHintable<ShardedSet<CombinedSet<Bat<SizeAug>>, 16>>);
 
 namespace {
 std::mutex& registry_mutex() {
@@ -59,6 +66,11 @@ StructureRegistry::StructureRegistry() {
   register_type<ShardedSet<Bat<SizeAug>, 16>>("Sharded16-BAT");
   register_type<ShardedSet<Bat<SizeAug>, 64>>("Sharded64-BAT");
   register_type<ShardedSet<BatDel<SizeAug>, 16>>("Sharded16-BAT-Del");
+  // The combining layer (combine_sweep scenario): a combined single BAT
+  // and the sharded forest whose shards each own a combining buffer.
+  register_type<CombinedSet<Bat<SizeAug>>>("Combined-BAT");
+  register_type<ShardedSet<CombinedSet<Bat<SizeAug>>, 16>>(
+      "Sharded16-Combined-BAT");
 }
 
 void StructureRegistry::register_structure(std::string name, Entry entry) {

@@ -1,5 +1,6 @@
 #include "bench/driver.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -23,9 +24,14 @@ struct ThreadTotals {
 };
 
 void worker(SetAdapter& set, const RunConfig& cfg, int tid,
+            std::atomic<int>& ready, std::atomic<bool>& go,
             std::atomic<bool>& stop, std::atomic<std::int64_t>& sorted_ctr,
             ThreadTotals& out) {
   const Workload& w = cfg.workload;
+  // Pre-fault this thread's object pools before the first sampled
+  // operation, so cold-allocation jitter stays out of the latency
+  // percentiles (the pools are per-thread; prefill warmed other threads).
+  set.warm_up(1u << 12);
   OpStream stream(w, cfg.seed + 7919ULL * static_cast<std::uint64_t>(tid + 1),
                   &sorted_ctr);
   stream.set_size_hint(w.max_key / 2);
@@ -33,6 +39,14 @@ void worker(SetAdapter& set, const RunConfig& cfg, int tid,
   // Sample latency on every 32nd operation to keep clock overhead out of
   // the throughput numbers.
   int sample_countdown = 32 + tid;
+  // Start barrier: warm-up and stream construction must not eat into the
+  // measured window (they produce zero ops, and only some structures
+  // implement warm_up — unbarriered they would bias the cross-structure
+  // figures).  The driver takes t0 once every worker has checked in.
+  ready.fetch_add(1, std::memory_order_release);
+  while (!go.load(std::memory_order_acquire)) {
+    std::this_thread::yield();
+  }
   while (!stop.load(std::memory_order_relaxed)) {
     const auto op = stream.next_op();
     const bool sample = --sample_countdown == 0;
@@ -107,6 +121,8 @@ void prefill(SetAdapter& set, const Workload& w, int threads,
   std::vector<std::thread> ts;
   for (int t = 0; t < threads; ++t) {
     ts.emplace_back([&, t] {
+      set.warm_up(static_cast<std::size_t>(
+          std::max<std::int64_t>(target / threads, 1)));
       Xoshiro256 rng(seed + 1000003ULL * static_cast<std::uint64_t>(t));
       while (true) {
         const std::int64_t got =
@@ -136,15 +152,22 @@ RunResult run_on(SetAdapter& set, const RunConfig& cfg) {
   set.set_key_range_hint(cfg.workload.max_key);
   if (cfg.prefill) prefill(set, cfg.workload, cfg.threads, cfg.seed ^ 0xabcd);
 
+  std::atomic<int> ready{0};
+  std::atomic<bool> go{false};
   std::atomic<bool> stop{false};
   std::atomic<std::int64_t> sorted_ctr{0};
   std::vector<ThreadTotals> totals(cfg.threads);
   std::vector<std::thread> ts;
-  const auto t0 = Clock::now();
   for (int t = 0; t < cfg.threads; ++t) {
-    ts.emplace_back(worker, std::ref(set), std::cref(cfg), t, std::ref(stop),
-                    std::ref(sorted_ctr), std::ref(totals[t]));
+    ts.emplace_back(worker, std::ref(set), std::cref(cfg), t, std::ref(ready),
+                    std::ref(go), std::ref(stop), std::ref(sorted_ctr),
+                    std::ref(totals[t]));
   }
+  while (ready.load(std::memory_order_acquire) < cfg.threads) {
+    std::this_thread::yield();
+  }
+  const auto t0 = Clock::now();
+  go.store(true, std::memory_order_release);
   std::this_thread::sleep_for(std::chrono::milliseconds(cfg.duration_ms));
   stop.store(true, std::memory_order_relaxed);
   for (auto& t : ts) t.join();

@@ -9,6 +9,7 @@
 
 #include "bench/table.h"
 #include "chromatic/chromatic_set.h"
+#include "combine/combining_buffer.h"
 #include "core/bat_tree.h"
 #include "frbst/frbst.h"
 #include "llxscx/llx_scx.h"
@@ -598,6 +599,142 @@ void run_shard_hotspot(ScenarioContext& ctx) {
   }
 }
 
+// combine_sweep: the combining layer (src/combine/) over a batch-size x
+// thread-count x update-share grid, on Zipfian keys so the hot shard that
+// erases the sharding win in shard_hotspot is exactly where combining
+// engages.  Controls are the same structures without the combining layer;
+// each combined cell additionally records per-batch occupancy statistics
+// (avg requests per combiner batch, solo/timeout shares) into the
+// schema-1 JSON metrics, which scripts/compare_bench.py surfaces so a
+// regression in combining *effectiveness* is visible even when raw
+// throughput still passes the gate.  NOTE: occupancy > 1 needs truly
+// concurrent updates; on a single-hardware-thread host the grid still
+// runs (protocol coverage) but shows parity, like shard_sweep's scaling.
+void run_combine_sweep(ScenarioContext& ctx) {
+  const Args& args = *ctx.args;
+  // A small, hot smoke keyspace: the Zipf head concentrates on one shard
+  // and key sampling stays cheap, so the combined-vs-control ratio —
+  // the acceptance signal — is dominated by tree work, not workload
+  // generation.  Cells are longer than the figures' 150 ms for the same
+  // reason: per-cell scheduler noise matters more here than in sweeps
+  // that only feed the geomean gate.
+  const long maxkey = pick(args, "--maxkey", 1000000, 4000, 100000);
+  const long tt = ctx.fixed_threads();
+  const int ms = static_cast<int>(pick(args, "--ms", 3000, 600, 120));
+  // Smoke oversubscribes (16 threads, vs the figures' TT 2): combining's
+  // win regime is runnable threads contending for a hot shard, which two
+  // threads barely produce; the control pays the extra conflict churn
+  // while the combiner serializes it.
+  const auto thread_counts =
+      args.full_scale()
+          ? args.get_list("--threads", {1, 12, 24, 48, 96})
+          : args.get_list("--threads", {args.smoke() ? 16L : tt});
+  const auto batch_sizes =
+      pick_list(args, "--batch", {8, 64}, {8, 64}, {8, 64});
+  const double theta = args.get_double("--theta", 1.35);
+  // Update share in percent; the rest of the mix is finds.  The >= 80%
+  // cells are the ones the combining layer exists for.
+  const std::vector<long> update_shares = {50, 80, 100};
+
+  struct Pair {
+    const char* control;
+    const char* combined;
+  };
+  const Pair pairs[] = {
+      {"BAT", "Combined-BAT"},
+      {"Sharded16-BAT", "Sharded16-Combined-BAT"},
+  };
+
+  const int saved_max_batch = combine_max_batch();
+  char theta_buf[16];
+  std::snprintf(theta_buf, sizeof(theta_buf), "%g", theta);
+  for (long threads : thread_counts) {
+    const std::string table =
+        "combine_sweep: TT " + std::to_string(threads) + ", MK " +
+        std::to_string(maxkey) + ", Zipfian " + theta_buf +
+        ", (x/2)-(x/2)-(100-x)-0 — throughput (ops/s)";
+    auto config_for = [&](long share) {
+      RunConfig cfg;
+      cfg.workload.insert_pct = static_cast<double>(share) / 2;
+      cfg.workload.delete_pct = static_cast<double>(share) / 2;
+      cfg.workload.find_pct = static_cast<double>(100 - share);
+      cfg.workload.max_key = maxkey;
+      cfg.workload.dist = KeyDist::kZipf;
+      cfg.workload.zipf_theta = theta;
+      cfg.threads = static_cast<int>(threads);
+      cfg.duration_ms = ms;
+      return cfg;
+    };
+    for (const Pair& p : pairs) {
+      for (long share : update_shares) {
+        ctx.record(table, "update_pct", std::to_string(share), p.control,
+                   p.control, config_for(share));
+      }
+      for (long b : batch_sizes) {
+        set_combine_max_batch(static_cast<int>(b));
+        const std::string series =
+            std::string(p.combined) + "/b" + std::to_string(b);
+        for (long share : update_shares) {
+          // Best-of-N by hand so the occupancy counters match the kept
+          // repetition (record() would mix counters across repeats), with
+          // prefill run separately so the gated occupancy metrics cover
+          // only the measured phase (prefill's pure-insert combining
+          // activity would otherwise dilute them).
+          const RunConfig cfg = config_for(share);
+          const int repeats = repeats_for(args);
+          RunResult best;
+          Counters::Snapshot best_counters;
+          for (int rep = 0; rep < repeats; ++rep) {
+            auto set = make_structure(p.combined);
+            set->set_key_range_hint(cfg.workload.max_key);
+            prefill(*set, cfg.workload, cfg.threads, cfg.seed ^ 0xabcd);
+            Counters::reset();
+            RunConfig timed = cfg;
+            timed.prefill = false;  // already done above
+            RunResult r = run_on(*set, timed);
+            const auto c = Counters::snapshot();
+            if (rep == 0 || r.throughput() > best.throughput()) {
+              best = std::move(r);
+              best_counters = c;
+            }
+          }
+          const double batches = static_cast<double>(
+              best_counters[Counter::kCombineBatches]);
+          const double batched_ops = static_cast<double>(
+              best_counters[Counter::kCombineBatchedOps]);
+          const double solo =
+              static_cast<double>(best_counters[Counter::kCombineSolo]);
+          const double timeouts =
+              static_cast<double>(best_counters[Counter::kCombineTimeouts]);
+          const double occupancy =
+              batches > 0 ? batched_ops / batches : 0.0;
+          const double solo_pct =
+              (batched_ops + solo) > 0
+                  ? 100.0 * solo / (batched_ops + solo)
+                  : 0.0;
+          const std::string x = std::to_string(share);
+          RunRecord& rec =
+              add_run(*ctx.out, table, "update_pct", x, series,
+                      std::move(best));
+          rec.metrics = {{"batch_occupancy", occupancy},
+                         {"combine_solo_pct", solo_pct},
+                         {"combine_batches", batches},
+                         {"combine_timeouts", timeouts}};
+          ctx.out->add_cell(table, "update_pct", x, series,
+                            fmt_throughput(rec.result.throughput()));
+          std::fprintf(stderr,
+                       "  [%s update_pct=%s] %.3f Mop/s, occupancy %.2f, "
+                       "solo %.1f%%\n",
+                       series.c_str(), x.c_str(), rec.result.mops(),
+                       occupancy, solo_pct);
+        }
+      }
+      set_combine_max_batch(saved_max_batch);
+    }
+  }
+  Counters::reset();
+}
+
 // ---------------------------------------------------------------------------
 // Micro-kernel scenarios: the former google-benchmark binaries, re-hosted
 // on a plain calibrated timing loop so they need no external library and
@@ -875,6 +1012,10 @@ void register_builtin_scenarios(ScenarioRegistry& reg) {
            "Shard layer: Zipf theta sweep showing where a hot shard erases "
            "the win",
            run_shard_hotspot});
+  reg.add({"combine_sweep",
+           "Combining layer: batch-size x threads x update-share grid with "
+           "per-batch occupancy stats",
+           run_combine_sweep});
   reg.add({"micro_components",
            "Micro: component kernels (EBR guard, Zipf, flat set, propagate, "
            "queries)",
@@ -1097,7 +1238,9 @@ void print_usage(std::FILE* f) {
       "  --rq N           range-query size override\n"
       "  --tt N           fixed thread count override (figs 6/7/9/10)\n"
       "  --repeat N       best-of-N repetitions per cell (smoke default: "
-      "2)\n");
+      "2)\n"
+      "  --batch a,b      combining batch-size sweep (combine_sweep)\n"
+      "  --theta X        Zipf theta override (combine_sweep)\n");
 }
 
 }  // namespace

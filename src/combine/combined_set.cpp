@@ -1,0 +1,11 @@
+#include "combine/combined_set.h"
+
+namespace cbat {
+
+// The registry-visible combined structures, compiled once for every user:
+// the standalone combined BAT and the sharded forest whose 16 shards each
+// own a private combining buffer.
+template class CombinedSet<Bat<SizeAug>>;
+template class ShardedSet<CombinedSet<Bat<SizeAug>>, 16>;
+
+}  // namespace cbat

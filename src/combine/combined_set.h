@@ -1,0 +1,224 @@
+// CombinedSet — per-structure update combining over a BAT (ROADMAP:
+// shard-aware batching).
+//
+// Every BAT update pays an EBR guard entry, a root-to-leaf descent, and a
+// root-refresh CAS even when delegation (paper §5) amortizes the *refresh
+// conflicts*.  CombinedSet amortizes all three across concurrent updates:
+// one thread (the combiner) claims the buffer lock, drains every published
+// insert/erase, sorts the batch by key, and applies it through
+// BatTree::apply_batch — one guard, shared descent prefixes, one top-level
+// Propagate per batch.  Waiters spin on their publication slot, bounded by
+// the inner tree's set_delegation_timeout budget, and fall back to solo
+// execution on timeout, so progress never depends on the combiner.
+//
+// Used two ways (both registered): standalone as "Combined-BAT", and as
+// the per-shard inner structure of "Sharded16-Combined-BAT", where each
+// shard owns a private buffer and combining captures exactly the updates
+// that PR 3's keyspace partitioning already routes to one root.
+//
+// Queries bypass the buffer entirely — they are reads on the inner BAT's
+// version tree and keep its snapshot semantics.  A published-but-unapplied
+// update is an in-flight operation: it is allowed to be invisible until
+// its batch's root refresh, which always happens before its response.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "combine/combining_buffer.h"
+#include "core/bat_tree.h"
+#include "shard/sharded_set.h"
+#include "util/counters.h"
+
+namespace cbat {
+
+// What the combining layer needs from the wrapped tree: point updates, the
+// bulk path, the waiter spin budget, and (for the shard layer on top) the
+// pinned-root view.
+template <class T>
+concept CombinableInner =
+    requires(T t, const T ct, Key k, BatchOp* ops, int n) {
+      typename T::AugType;
+      { t.insert(k) } -> std::same_as<bool>;
+      { t.erase(k) } -> std::same_as<bool>;
+      { ct.contains(k) } -> std::same_as<bool>;
+      { t.apply_batch(ops, n) };
+      { T::delegation_timeout() } -> std::convertible_to<std::uint64_t>;
+      { ct.root_version_unsafe() };
+    };
+
+template <class Inner = Bat<SizeAug>>
+  requires CombinableInner<Inner>
+class CombinedSet {
+ public:
+  using Aug = typename Inner::AugType;
+  using AugType = Aug;
+  using AugValue = typename Aug::Value;
+  using V = typename Inner::V;
+  using Buffer = CombiningBuffer<64>;
+
+  // --- updates: the combining protocol ------------------------------------
+
+  bool insert(Key k) { return update(k, /*is_insert=*/true); }
+  bool erase(Key k) { return update(k, /*is_insert=*/false); }
+
+  // --- queries: straight reads on the inner version tree ------------------
+
+  bool contains(Key k) const { return inner_.contains(k); }
+  std::int64_t size() const
+    requires SizedAugmentation<Aug>
+  {
+    return inner_.size();
+  }
+  std::int64_t rank(Key k) const
+    requires SizedAugmentation<Aug>
+  {
+    return inner_.rank(k);
+  }
+  std::optional<Key> select(std::int64_t i) const
+    requires SizedAugmentation<Aug>
+  {
+    return inner_.select(i);
+  }
+  std::int64_t range_count(Key lo, Key hi) const
+    requires SizedAugmentation<Aug>
+  {
+    return inner_.range_count(lo, hi);
+  }
+  AugValue range_aggregate(Key lo, Key hi) const {
+    return inner_.range_aggregate(lo, hi);
+  }
+  std::optional<Key> floor(Key k) const { return inner_.floor(k); }
+  std::optional<Key> ceiling(Key k) const { return inner_.ceiling(k); }
+  std::vector<Key> range_collect(Key lo, Key hi, std::size_t limit = 0) const {
+    return inner_.range_collect(lo, hi, limit);
+  }
+
+  const V* root_version_unsafe() const { return inner_.root_version_unsafe(); }
+
+  void warm_up(std::size_t expected_updates) {
+    inner_.warm_up(expected_updates);
+  }
+
+  Inner& inner() { return inner_; }
+  const Inner& inner() const { return inner_; }
+
+ private:
+  bool update(Key k, bool is_insert) {
+    const std::uint64_t budget = Inner::delegation_timeout();
+    const int max_batch = combine_max_batch();
+    // budget 0: the waiter may not wait at all, so publishing is useless —
+    // every update runs solo (combining off, the non-blocking boundary).
+    if (budget == 0 || max_batch <= 1) return solo(k, is_insert);
+
+    // Fast path: free lock — combine inline, own request rides in the
+    // batch without touching a slot.
+    if (buffer_.try_lock()) {
+      const bool r = run_combiner(k, is_insert, max_batch);
+      buffer_.unlock();
+      return r;
+    }
+
+    const int slot = buffer_.publish(k, is_insert);
+    if (slot < 0) return solo(k, is_insert);  // buffer full: shed load
+
+    std::uint64_t spins = 0;
+    bool may_time_out = true;
+    while (true) {
+      const auto st = buffer_.slot_state(slot);
+      if (st == Buffer::kDone) return buffer_.take_result(slot);
+      if (st == Buffer::kPending && buffer_.try_lock()) {
+        // The previous combiner finished without our request: drain the
+        // buffer ourselves (our own slot included — the response comes
+        // back through it like any other).
+        run_combiner_drained_only(max_batch);
+        buffer_.unlock();
+        continue;
+      }
+      cpu_relax();
+      if ((++spins & 63) == 0) std::this_thread::yield();
+      if (may_time_out && spins > budget) {
+        if (buffer_.try_retract(slot)) {
+          Counters::bump(Counter::kCombineTimeouts);
+          return solo(k, is_insert);
+        }
+        // A combiner claimed the request in the meantime; from here on
+        // only it may produce the response.
+        may_time_out = false;
+      }
+    }
+  }
+
+  bool solo(Key k, bool is_insert) {
+    Counters::bump(Counter::kCombineSolo);
+    return is_insert ? inner_.insert(k) : inner_.erase(k);
+  }
+
+  struct BatchScratch {
+    std::vector<BatchOp> ops;
+    typename Buffer::DrainedRequest reqs[Buffer::num_slots()];
+  };
+  static BatchScratch& batch_scratch() {
+    thread_local BatchScratch s;
+    return s;
+  }
+
+  // Caller holds the buffer lock.  Applies {own request} + drained
+  // requests as one sorted batch; returns the own request's result.
+  bool run_combiner(Key k, bool is_insert, int max_batch) {
+    BatchScratch& s = batch_scratch();
+    s.ops.clear();
+    s.ops.push_back({k, is_insert, false, /*tag=*/-1});
+    collect_drained(s, max_batch - 1);
+    apply_and_complete(s);
+    for (const BatchOp& op : s.ops) {
+      if (op.tag < 0) return op.result;
+    }
+    return false;  // unreachable: the own request is always in the batch
+  }
+
+  // Caller holds the buffer lock.  A waiter that inherited the lock: its
+  // request is already published, so the batch is just the drained slots.
+  void run_combiner_drained_only(int max_batch) {
+    BatchScratch& s = batch_scratch();
+    s.ops.clear();
+    collect_drained(s, max_batch);
+    if (s.ops.empty()) return;
+    apply_and_complete(s);
+  }
+
+  void collect_drained(BatchScratch& s, int max) {
+    const int n = buffer_.drain(
+        s.reqs, std::min(max, static_cast<int>(Buffer::num_slots())));
+    for (int i = 0; i < n; ++i) {
+      s.ops.push_back({s.reqs[i].key, s.reqs[i].is_insert, false,
+                       /*tag=*/s.reqs[i].slot});
+    }
+  }
+
+  void apply_and_complete(BatchScratch& s) {
+    // Stable: requests on the same key keep their publication-scan order.
+    std::stable_sort(
+        s.ops.begin(), s.ops.end(),
+        [](const BatchOp& a, const BatchOp& b) { return a.key < b.key; });
+    inner_.apply_batch(s.ops.data(), static_cast<int>(s.ops.size()));
+    for (const BatchOp& op : s.ops) {
+      if (op.tag >= 0) buffer_.complete(op.tag, op.result);
+    }
+    Counters::bump(Counter::kCombineBatches);
+    Counters::bump(Counter::kCombineBatchedOps, s.ops.size());
+  }
+
+  Inner inner_;
+  Buffer buffer_;
+};
+
+// The registry-visible combined structures; compiled once in
+// combined_set.cpp.
+extern template class CombinedSet<Bat<SizeAug>>;
+extern template class ShardedSet<CombinedSet<Bat<SizeAug>>, 16>;
+
+}  // namespace cbat

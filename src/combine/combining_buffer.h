@@ -1,0 +1,214 @@
+// Flat-combining publication buffer (ROADMAP: shard-aware batching).
+//
+// A fixed, cache-line-padded array of request slots plus a combiner lock.
+// Threads that find the lock busy publish their update into a free slot
+// and spin on that slot alone; whichever thread holds the lock drains
+// every published request, applies the whole batch through one bulk tree
+// operation (BatTree::apply_batch), and writes each result back into its
+// slot.  One combiner pass pays one EBR guard, one shared descent prefix,
+// and one top-level root CAS for N updates — the costs the paper's
+// delegation schemes cannot amortize across *distinct* keys.
+//
+// Per-slot request/response protocol (state machine, one atomic word):
+//
+//   kEmpty --CAS(publisher)--> kWriting --store--> kPending
+//   kPending --CAS(combiner)--> kTaken --store--> kDone
+//   kPending --CAS(publisher timeout)--> kEmpty          (retract: go solo)
+//   kDone --store(publisher)--> kEmpty                   (response consumed)
+//
+// The publisher owns the slot payload in kWriting/kDone, the combiner owns
+// it in kTaken; every handoff is an acquire/release edge on `state`, so the
+// payload itself needs no atomics.  A publisher that times out retracts
+// with a CAS — if the CAS loses, a combiner already took the request and
+// the publisher must wait for kDone (the combiner is applying it; applying
+// it again solo would double-execute the update).
+//
+// Combining is cooperative, not blocking: a publisher whose spin budget
+// runs out executes solo (the inner tree is safe under concurrent solo
+// updates), so a stalled combiner delays at most the requests it already
+// claimed.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "util/keys.h"
+#include "util/padded.h"
+#include "util/thread_registry.h"
+
+namespace cbat {
+
+// Process-wide cap on how many requests one combiner pass may apply as a
+// single batch (its own plus drained ones).  <= 1 disables combining
+// entirely — every update runs solo.  A knob rather than a template
+// parameter so benchmarks (combine_sweep) can sweep it on the registry's
+// type-erased structures.
+inline std::atomic<int>& combine_max_batch_slot() {
+  static std::atomic<int> v{64};
+  return v;
+}
+inline int combine_max_batch() {
+  return combine_max_batch_slot().load(std::memory_order_relaxed);
+}
+inline void set_combine_max_batch(int n) {
+  combine_max_batch_slot().store(n, std::memory_order_relaxed);
+}
+
+template <int NumSlots = 64>
+class CombiningBuffer {
+  static_assert(NumSlots >= 1);
+
+ public:
+  enum State : std::uint32_t {
+    kEmpty = 0,
+    kWriting = 1,
+    kPending = 2,
+    kTaken = 3,
+    kDone = 4,
+  };
+
+  struct DrainedRequest {
+    int slot;
+    Key key;
+    bool is_insert;
+  };
+
+  // --- combiner election --------------------------------------------------
+
+  bool try_lock() {
+    return !ctl_->lock.load(std::memory_order_relaxed) &&
+           !ctl_->lock.exchange(true, std::memory_order_acquire);
+  }
+  void unlock() { ctl_->lock.store(false, std::memory_order_release); }
+
+  // --- publisher side -----------------------------------------------------
+
+  // Claims a free slot and publishes (key, is_insert).  Returns the slot
+  // index, or -1 if the buffer is full (caller goes solo).  Probing starts
+  // at a per-thread offset so concurrent publishers do not fight over
+  // slot 0.
+  int publish(Key key, bool is_insert) {
+    const int start = ThreadRegistry::thread_id() % NumSlots;
+    for (int i = 0; i < NumSlots; ++i) {
+      Slot& s = *slots_[(start + i) % NumSlots];
+      std::uint32_t expected = kEmpty;
+      if (s.state.load(std::memory_order_relaxed) == kEmpty &&
+          s.state.compare_exchange_strong(expected, kWriting,
+                                          std::memory_order_acquire,
+                                          std::memory_order_relaxed)) {
+        // Count the request before it becomes visible: a kPending slot
+        // always has a nonzero count, so drain's empty-buffer short
+        // circuit can only over-see, never miss, a published request.
+        in_flight_->fetch_add(1, std::memory_order_relaxed);
+        s.key = key;
+        s.is_insert = is_insert;
+        s.state.store(kPending, std::memory_order_release);
+        return (start + i) % NumSlots;
+      }
+    }
+    return -1;
+  }
+
+  std::uint32_t slot_state(int slot) const {
+    return slots_[slot]->state.load(std::memory_order_acquire);
+  }
+
+  // Timeout path: retract an unclaimed request.  False means a combiner
+  // already took it — the publisher must keep waiting for kDone.
+  bool try_retract(int slot) {
+    std::uint32_t expected = kPending;
+    if (slots_[slot]->state.compare_exchange_strong(
+            expected, kEmpty, std::memory_order_acq_rel,
+            std::memory_order_acquire)) {
+      in_flight_->fetch_sub(1, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+
+  // Consumes the response of a kDone slot and frees it.
+  bool take_result(int slot) {
+    Slot& s = *slots_[slot];
+    const bool r = s.result;
+    s.state.store(kEmpty, std::memory_order_release);
+    in_flight_->fetch_sub(1, std::memory_order_relaxed);
+    return r;
+  }
+
+  // --- combiner side (caller must hold the lock) ---------------------------
+
+  // Claims up to `max` pending requests (kPending -> kTaken) into `out`.
+  // The sweep starts where the previous drain left off (a cursor guarded
+  // by the combiner lock): with `max` below NumSlots a fixed scan origin
+  // would claim high-index slots systematically last, starving publishers
+  // whose thread id maps there into full-budget spins and solo fallback.
+  int drain(DrainedRequest* out, int max) {
+    // Uncontended fast path: nothing published, nothing awaiting pickup —
+    // skip the O(NumSlots) cache-line sweep that would otherwise tax
+    // every solo-speed update.  The count is incremented before a slot
+    // can reach kPending and decremented only after its response is
+    // consumed (or the request retracted), so a zero read here means no
+    // request is pending (up to propagation of a publication racing this
+    // very load).  A skipped-over racing request is only *delayed*, never
+    // stuck: its publisher re-reads the slot, and on finding the lock
+    // free drains the buffer itself — its own increment is sequenced
+    // before that drain — or times out into solo execution.
+    if (in_flight_->load(std::memory_order_acquire) == 0) return 0;
+    const int start = ctl_->next_scan;
+    int n = 0;
+    for (int i = 0; i < NumSlots; ++i) {
+      if (n >= max) {
+        ctl_->next_scan = (start + i) % NumSlots;
+        return n;
+      }
+      const int idx = (start + i) % NumSlots;
+      Slot& s = *slots_[idx];
+      std::uint32_t expected = kPending;
+      if (s.state.load(std::memory_order_relaxed) == kPending &&
+          s.state.compare_exchange_strong(expected, kTaken,
+                                          std::memory_order_acquire,
+                                          std::memory_order_relaxed)) {
+        out[n++] = {idx, s.key, s.is_insert};
+      }
+    }
+    return n;
+  }
+
+  // Writes the response of a claimed request and hands the slot back to
+  // its publisher.
+  void complete(int slot, bool result) {
+    Slot& s = *slots_[slot];
+    s.result = result;
+    s.state.store(kDone, std::memory_order_release);
+  }
+
+  static constexpr int num_slots() { return NumSlots; }
+
+ private:
+  struct Slot {
+    std::atomic<std::uint32_t> state{kEmpty};
+    Key key = 0;
+    bool is_insert = false;
+    bool result = false;
+  };
+
+  // Combiner election plus the drain cursor; `next_scan` is read and
+  // written only while `lock` is held, so the lock's acquire/release
+  // edges order it.
+  struct Ctl {
+    std::atomic<bool> lock{false};
+    int next_scan = 0;
+  };
+
+  // The control word, the in-flight request count, and every slot live on
+  // their own cache line: publishers spin on their slot, the combiner
+  // sweeps, and none of it may false-share.
+  Padded<Ctl> ctl_{};
+  // Approximate published-request count gating drain's slot sweep.  It
+  // over-counts (a request stays counted from publication until its
+  // response is consumed) but never under-counts a kPending slot.
+  Padded<std::atomic<int>> in_flight_{};
+  Padded<Slot> slots_[NumSlots];
+};
+
+}  // namespace cbat

@@ -16,6 +16,7 @@
 // made non-blocking with a wait timeout (§5); the timeout defaults to on.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <optional>
 #include <vector>
@@ -31,6 +32,16 @@
 namespace cbat {
 
 enum class Delegation { kNone, kDel, kEagerDel };
+
+// One request of a combined update batch (src/combine/).  `tag` is opaque
+// to the tree — the combining layer uses it to route results back to the
+// publication slots; the tree only fills `result`.
+struct BatchOp {
+  Key key;
+  bool is_insert;
+  bool result;
+  int tag;
+};
 
 namespace detail {
 
@@ -105,6 +116,43 @@ class BatTree {
     const bool result = tree_.erase(k);
     propagate(k);
     return result;
+  }
+
+  // Bulk update path for the combining layer (src/combine/): applies every
+  // request under ONE EbrGuard, then runs ONE merged Propagate over the
+  // union of the search paths, so key-adjacent updates share their descent
+  // prefix and the whole batch pays a single top-level root refresh/CAS
+  // instead of one per update.  `ops` must be sorted by key (duplicates
+  // allowed; they are applied in the given order).  Fills op.result.
+  //
+  // Linearization: each request takes effect (becomes visible to
+  // version-tree queries) no later than the batch's root refresh, which
+  // happens before the combiner reports any result — so every request
+  // linearizes between its publication and its response, exactly like a
+  // solo update.
+  void apply_batch(BatchOp* ops, int n) {
+    if (n <= 0) return;
+    EbrGuard g;
+    for (int i = 0; i < n; ++i) {
+      ops[i].result =
+          ops[i].is_insert ? tree_.insert(ops[i].key) : tree_.erase(ops[i].key);
+    }
+    if (n == 1) {
+      propagate(ops[0].key);
+      return;
+    }
+    // Dedup: one bottom-up refresh of a key's path covers every update on
+    // that path that landed before the Propagate started (§4), so each
+    // distinct key is propagated once.
+    Scratch& s = scratch();
+    s.batch_keys.clear();
+    for (int i = 0; i < n; ++i) {
+      if (s.batch_keys.empty() || s.batch_keys.back() != ops[i].key) {
+        s.batch_keys.push_back(ops[i].key);
+      }
+    }
+    propagate_batch(s.batch_keys.data(),
+                    static_cast<int>(s.batch_keys.size()));
   }
 
   // --- queries (linearized at the read of Root.version) ------------------
@@ -241,9 +289,31 @@ class BatTree {
   // --- configuration & introspection --------------------------------------
 
   // Spin budget a delegating Propagate waits before resuming on its own
-  // (making the scheme non-blocking, §5).  0 disables the timeout.
+  // (making the scheme non-blocking, §5).  0 disables the timeout.  The
+  // combining layer (src/combine/) reuses the same budget for how long a
+  // waiter spins on its publication slot — there, 0 means "never wait"
+  // (every update runs solo), the combining analogue of non-blocking.
   static void set_delegation_timeout(std::uint64_t spins) {
     delegation_timeout_spins_ = spins;
+  }
+  static std::uint64_t delegation_timeout() {
+    return delegation_timeout_spins_;
+  }
+
+  // Pre-faults the calling thread's pool free lists for the object types
+  // this tree allocates on the update path (~one Node patch set plus
+  // ~path-length Versions per update).  Caps are modest: steady state
+  // recycles through the EBR, so only the initial working set matters.
+  void warm_up(std::size_t expected_updates) {
+    const auto cap = [expected_updates](std::size_t mult, std::size_t limit) {
+      return std::min(expected_updates * mult, limit);
+    };
+    pool_reserve<V>(cap(4, 1u << 12));
+    pool_reserve<Node>(cap(4, 1u << 11));
+    pool_reserve<ScxRecord>(cap(1, 1u << 10));
+    if constexpr (Del != Delegation::kNone) {
+      pool_reserve<PropStatus>(cap(1, 1u << 8));
+    }
   }
 
   // The current root version (for tests).
@@ -351,6 +421,10 @@ class BatTree {
     std::vector<Node*> stack;
     FlatPtrSet refreshed;
     std::vector<V*> to_retire;
+    // Batch propagate only: per-stack-entry exclusive upper bound of the
+    // entry's subtree, and the deduped key list (owned by apply_batch).
+    std::vector<Key> stack_hi;
+    std::vector<Key> batch_keys;
   };
 
   static Scratch& scratch() {
@@ -409,17 +483,95 @@ class BatTree {
     (void)delegated;
   }
 
+  // Merged Propagate over a batch of strictly-increasing keys: refreshes
+  // the union of the search paths in post-order (every node after all its
+  // descendants on any path), so each key's path is refreshed bottom-up —
+  // the per-key requirement of §4 — while shared prefixes, and in
+  // particular the root CAS, are paid once for the whole batch.
+  //
+  // The in-order sweep works off subtree upper bounds: pushing child c of
+  // x in direction 0 bounds c's subtree by x.key (left subtrees hold keys
+  // < x.key).  Bounds shrink monotonically along a path, so when moving
+  // from key k to the next key k' > k, exactly the stack entries whose
+  // bound is <= k' are off k''s path; they are popped and refreshed now
+  // (post-order), and the entries above them — the shared prefix — are
+  // deferred to a later key.  Like the single-key loop, the sweep
+  // re-descends after every refresh so rotation patches (nil versions)
+  // installed concurrently below an entry are picked up before the entry
+  // itself is refreshed.
+  //
+  // Uses the plain double refresh for every node (correct for all
+  // variants, §4.1); delegation stays a single-key optimization because a
+  // delegatee only covers the contended node's own root path, not the
+  // batch's remaining sibling subtrees.
+  void propagate_batch(const Key* keys, int n) {
+    Counters::bump(Counter::kPropagateCalls);
+    Scratch& s = scratch();
+    s.stack.clear();
+    s.stack_hi.clear();
+    s.refreshed.clear();
+    s.to_retire.clear();
+    Node* const root = tree_.root();
+    s.stack.push_back(root);
+    s.stack_hi.push_back(kInf2);
+
+    bool first_descent = true;
+    for (int i = 0; i < n; ++i) {
+      const Key k = keys[i];
+      // kInf2 exceeds every subtree bound, so the last key drains the
+      // whole stack (root included).
+      const Key next_key = (i + 1 < n) ? keys[i + 1] : kInf2;
+      while (true) {
+        // Walk down from the top of the stack along k's search path until
+        // the child has already been refreshed or is a leaf.
+        Node* x = s.stack.back();
+        Key hi = s.stack_hi.back();
+        while (true) {
+          const int d = dir_of(k, x);
+          Node* c = x->child[d].load(std::memory_order_acquire);
+          if (s.refreshed.contains(c) || c->is_leaf()) break;
+          hi = (d == 0) ? std::min(hi, x->key) : hi;
+          s.stack.push_back(c);
+          s.stack_hi.push_back(hi);
+          x = c;
+          Counters::bump(first_descent ? Counter::kSearchPathNodes
+                                       : Counter::kPropagateExtraNodes);
+        }
+        first_descent = false;
+        // Entries whose subtree can still contain next_key are shared
+        // prefix: defer them so the batch stays post-order.
+        if (s.stack_hi.back() > next_key) break;
+        Node* top = s.stack.back();
+        s.stack.pop_back();
+        s.stack_hi.pop_back();
+        Counters::bump(Counter::kPropagateNodes);
+        refresh_double(top, s);
+        s.refreshed.insert(top);
+        if (top == root) break;  // only reached while draining the last key
+      }
+    }
+    for (V* v : s.to_retire) pool_retire(v);
+  }
+
+  // The plain double refresh (Fig. 3 lines 43-45): if our refresh CAS
+  // lost, one more refresh is guaranteed to have started after our update
+  // arrived at the child, so its result covers us.
+  void refresh_double(Node* top, Scratch& s) {
+    RefreshResult r = refresh(top, nullptr);
+    if (r.success) {
+      s.to_retire.push_back(r.old);
+      return;
+    }
+    r = refresh(top, nullptr);
+    if (r.success) s.to_retire.push_back(r.old);
+  }
+
   // Refreshes `top` according to the variant.  Returns false iff the
   // propagate delegated its remaining work (and has already waited).
   bool refresh_one(Node* top, PropStatus* ps, Scratch& s, bool* delegated) {
     if constexpr (Del == Delegation::kNone) {
-      RefreshResult r = refresh(top, ps);
-      if (r.success) {
-        s.to_retire.push_back(r.old);
-        return true;
-      }
-      r = refresh(top, ps);  // the double refresh (Fig. 3 lines 43-45)
-      if (r.success) s.to_retire.push_back(r.old);
+      (void)ps;
+      refresh_double(top, s);
       return true;
     } else if constexpr (Del == Delegation::kDel) {
       RefreshResult r = refresh(top, ps);

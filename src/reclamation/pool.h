@@ -54,6 +54,23 @@ class Pool {
     }
   }
 
+  // Warm-up hook: pre-faults the calling thread's free list up to `n`
+  // objects (capped at the recycling limit) so a fresh worker thread's
+  // first operations do not pay cold ::operator new calls.  First-touch
+  // allocation jitter showed up as outliers in smoke-mode latency
+  // percentiles; the benchmark driver calls this from prefill and worker
+  // threads before timing starts.
+  static void reserve(std::size_t n) {
+    if (g_reclaim_shutdown.load(std::memory_order_relaxed)) return;
+    auto& f = free_list();
+    const std::size_t want = std::min(n, kMaxFree);
+    if (f.slots.size() >= want) return;
+    f.slots.reserve(want);
+    while (f.slots.size() < want) {
+      f.slots.push_back(::operator new(sizeof(T)));
+    }
+  }
+
  private:
   static constexpr std::size_t kMaxFree = 1 << 16;
 
@@ -86,6 +103,12 @@ void pool_delete(T* p) {
 template <class T>
 void pool_retire(T* p) {
   Ebr::retire(p, [](void* q) { Pool<T>::dealloc(q); });
+}
+
+// Pre-faults the calling thread's free list for T (see Pool::reserve).
+template <class T>
+void pool_reserve(std::size_t n) {
+  Pool<T>::reserve(n);
 }
 
 }  // namespace cbat

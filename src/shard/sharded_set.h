@@ -36,7 +36,9 @@
 #include <algorithm>
 #include <array>
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
+#include <mutex>
 #include <optional>
 #include <vector>
 
@@ -128,18 +130,18 @@ class ShardedSet {
     return Snapshot(*this).keys(lo, hi, limit);
   }
 
-  // Pins every shard's root version under one epoch guard.  The shard-size
-  // prefix sums are materialized once (O(NumShards) reads of O(1) root
-  // fields), so each query after that costs O(log n) like a single BAT.
+  // Pins every shard's root version under ONE epoch guard: `guard_` is
+  // declared (and therefore constructed) before the root-pinning loop in
+  // the constructor runs, and it spans every query made through the
+  // snapshot — composite queries never re-enter the EBR per shard.  The
+  // shard-size prefix sums are materialized lazily, once, on the first
+  // query that needs them (rank/select/size); order-free queries such as
+  // floor or range_aggregate skip the O(NumShards) size reads entirely.
   class Snapshot {
    public:
     explicit Snapshot(const ShardedSet& s) : owner_(&s) {
       for (int i = 0; i < NumShards; ++i) {
         roots_[i] = s.shards_[i]->root_version_unsafe();
-      }
-      prefix_[0] = 0;
-      for (int i = 0; i < NumShards; ++i) {
-        prefix_[i + 1] = prefix_[i] + version_size<Aug>(roots_[i]);
       }
     }
     Snapshot(const Snapshot&) = delete;
@@ -149,29 +151,29 @@ class ShardedSet {
       return version_contains<Aug>(root_of(k), k);
     }
 
-    std::int64_t size() const { return prefix_[NumShards]; }
+    std::int64_t size() const { return prefix()[NumShards]; }
 
     // Keys <= k: the full shards below k's shard, by prefix sum, plus one
     // rank descent inside it.
     std::int64_t rank(Key k) const {
       const int s = owner_->shard_of(k);
-      return prefix_[s] + version_rank<Aug>(roots_[s], k);
+      return prefix()[s] + version_rank<Aug>(roots_[s], k);
     }
 
     // Keys < k.
     std::int64_t rank_less(Key k) const {
       const int s = owner_->shard_of(k);
-      return prefix_[s] + version_rank_less<Aug>(roots_[s], k);
+      return prefix()[s] + version_rank_less<Aug>(roots_[s], k);
     }
 
     // i-th smallest key overall (1-based): binary-search the prefix sums
     // for the owning shard, then select inside it.
     std::optional<Key> select(std::int64_t i) const {
-      if (i < 1 || i > prefix_[NumShards]) return std::nullopt;
-      const auto it =
-          std::lower_bound(prefix_.begin() + 1, prefix_.end(), i);
-      const int s = static_cast<int>(it - prefix_.begin()) - 1;
-      return version_select<Aug>(roots_[s], i - prefix_[s]);
+      const auto& pre = prefix();
+      if (i < 1 || i > pre[NumShards]) return std::nullopt;
+      const auto it = std::lower_bound(pre.begin() + 1, pre.end(), i);
+      const int s = static_cast<int>(it - pre.begin()) - 1;
+      return version_select<Aug>(roots_[s], i - pre[s]);
     }
 
     // Keys in [lo, hi]: two composite rank descents (the middle shards are
@@ -245,10 +247,26 @@ class ShardedSet {
    private:
     const V* root_of(Key k) const { return roots_[owner_->shard_of(k)]; }
 
+    // Lazy prefix-sum materialization, once per snapshot.  call_once
+    // keeps the cache safe even when several reader threads fan out over
+    // one pinned Snapshot (a supported pattern: all queries are const);
+    // the pinned roots make the result stable for the snapshot's
+    // lifetime.
+    const std::array<std::int64_t, NumShards + 1>& prefix() const {
+      std::call_once(prefix_once_, [this] {
+        prefix_[0] = 0;
+        for (int i = 0; i < NumShards; ++i) {
+          prefix_[i + 1] = prefix_[i] + version_size<Aug>(roots_[i]);
+        }
+      });
+      return prefix_;
+    }
+
     EbrGuard guard_;
     const ShardedSet* owner_;
     std::array<const V*, NumShards> roots_;
-    std::array<std::int64_t, NumShards + 1> prefix_;
+    mutable std::once_flag prefix_once_;
+    mutable std::array<std::int64_t, NumShards + 1> prefix_;
   };
 
   // Shard index owning key k; monotone non-decreasing in k, which is what
@@ -261,6 +279,15 @@ class ShardedSet {
 
   Inner& shard_at(int i) { return *shards_[i]; }
   const Inner& shard_at(int i) const { return *shards_[i]; }
+
+  // Pool warm-up passthrough.  The object pools are type-keyed and
+  // per-thread (process-wide, not per-tree), so pre-faulting through one
+  // shard covers every shard of the forest.
+  void warm_up(std::size_t expected_updates)
+    requires requires(Inner t, std::size_t n) { t.warm_up(n); }
+  {
+    shards_[0]->warm_up(expected_updates);
+  }
 
  private:
   Inner& shard(Key k) { return *shards_[shard_of(k)]; }

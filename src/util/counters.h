@@ -28,6 +28,13 @@ enum class Counter : int {
   kScxAttempts,
   kScxFailures,
   kRebalanceSteps,
+  // Combining layer (src/combine/): batches applied by a combiner, total
+  // requests those batches carried (occupancy = ops / batches), updates
+  // that ran solo (no combining), and waiters that timed out and retracted.
+  kCombineBatches,
+  kCombineBatchedOps,
+  kCombineSolo,
+  kCombineTimeouts,
   kNumCounters
 };
 

@@ -32,7 +32,7 @@ TEST(ScenarioRegistry, ListsAllPaperScenarios) {
   const std::vector<std::string> expected = {
       "fig5a",  "fig5b",  "fig5c",  "fig6",
       "fig7",   "fig8",   "fig9",   "fig10",
-      "table3", "shard_sweep", "shard_hotspot",
+      "table3", "shard_sweep", "shard_hotspot", "combine_sweep",
       "micro_components", "micro_llxscx"};
   const auto names = ScenarioRegistry::instance().names();
   // >= rather than ==: other tests may add scenarios, and gtest order is

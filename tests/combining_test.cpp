@@ -1,0 +1,386 @@
+// Tests for the combining layer (src/combine/): the CombiningBuffer slot
+// protocol, the BatTree::apply_batch bulk path against a std::set oracle,
+// CombinedSet semantics standalone and under ShardedSet, the
+// delegation-timeout boundaries (0 = always solo, huge = effectively
+// unbounded waiting), and a multi-threaded quiescent-consistency harness
+// that CI runs under TSan.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "combine/combined_set.h"
+#include "core/bat_tree.h"
+#include "core/version_queries.h"
+#include "shard/sharded_set.h"
+#include "util/counters.h"
+#include "util/random.h"
+
+namespace cbat {
+namespace {
+
+using CombinedBat = CombinedSet<Bat<SizeAug>>;
+using ShardedCombined = ShardedSet<CombinedBat, 16>;
+
+// Restores the global combining/delegation knobs around each test.
+class CombiningTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    saved_batch_ = combine_max_batch();
+    saved_timeout_ = Bat<SizeAug>::delegation_timeout();
+  }
+  void TearDown() override {
+    set_combine_max_batch(saved_batch_);
+    Bat<SizeAug>::set_delegation_timeout(saved_timeout_);
+  }
+
+ private:
+  int saved_batch_ = 0;
+  std::uint64_t saved_timeout_ = 0;
+};
+
+// --- CombiningBuffer slot protocol (single-threaded state machine) --------
+
+TEST_F(CombiningTest, BufferPublishDrainCompleteRoundTrip) {
+  CombiningBuffer<8> buf;
+  ASSERT_TRUE(buf.try_lock());
+  ASSERT_FALSE(buf.try_lock()) << "the lock must be exclusive";
+
+  const int s0 = buf.publish(42, /*is_insert=*/true);
+  const int s1 = buf.publish(7, /*is_insert=*/false);
+  ASSERT_GE(s0, 0);
+  ASSERT_GE(s1, 0);
+  ASSERT_NE(s0, s1);
+  EXPECT_EQ(buf.slot_state(s0), CombiningBuffer<8>::kPending);
+
+  CombiningBuffer<8>::DrainedRequest reqs[8];
+  const int n = buf.drain(reqs, 8);
+  ASSERT_EQ(n, 2);
+  for (int i = 0; i < n; ++i) {
+    EXPECT_EQ(buf.slot_state(reqs[i].slot), CombiningBuffer<8>::kTaken);
+    if (reqs[i].slot == s0) {
+      EXPECT_EQ(reqs[i].key, 42);
+      EXPECT_TRUE(reqs[i].is_insert);
+    } else {
+      EXPECT_EQ(reqs[i].key, 7);
+      EXPECT_FALSE(reqs[i].is_insert);
+    }
+  }
+  // A drained request can no longer be retracted (solo would double-run).
+  EXPECT_FALSE(buf.try_retract(s0));
+
+  buf.complete(s0, true);
+  buf.complete(s1, false);
+  EXPECT_EQ(buf.slot_state(s0), CombiningBuffer<8>::kDone);
+  EXPECT_TRUE(buf.take_result(s0));
+  EXPECT_FALSE(buf.take_result(s1));
+  EXPECT_EQ(buf.slot_state(s0), CombiningBuffer<8>::kEmpty);
+  buf.unlock();
+  ASSERT_TRUE(buf.try_lock());
+  buf.unlock();
+}
+
+TEST_F(CombiningTest, BufferRetractBeforeDrainAndFullBuffer) {
+  CombiningBuffer<2> buf;
+  const int s0 = buf.publish(1, true);
+  const int s1 = buf.publish(2, true);
+  ASSERT_GE(s0, 0);
+  ASSERT_GE(s1, 0);
+  EXPECT_EQ(buf.publish(3, true), -1) << "full buffer must refuse";
+  EXPECT_TRUE(buf.try_retract(s0)) << "unclaimed requests retract";
+  EXPECT_EQ(buf.slot_state(s0), CombiningBuffer<2>::kEmpty);
+  EXPECT_GE(buf.publish(3, true), 0) << "retracted slot is reusable";
+  // Clean up the pending slots so the buffer is quiescent.
+  CombiningBuffer<2>::DrainedRequest reqs[2];
+  ASSERT_TRUE(buf.try_lock());
+  const int n = buf.drain(reqs, 2);
+  ASSERT_EQ(n, 2);
+  for (int i = 0; i < n; ++i) buf.complete(reqs[i].slot, false);
+  buf.take_result(reqs[0].slot);
+  buf.take_result(reqs[1].slot);
+  (void)s1;
+  buf.unlock();
+}
+
+// --- BatTree::apply_batch against a std::set oracle -----------------------
+
+TEST_F(CombiningTest, ApplyBatchMatchesSequentialOracle) {
+  Bat<SizeAug> t;
+  std::set<Key> ref;
+  Xoshiro256 rng(123);
+  for (int round = 0; round < 200; ++round) {
+    std::vector<BatchOp> ops;
+    const int n = 1 + static_cast<int>(rng.below(24));
+    for (int i = 0; i < n; ++i) {
+      ops.push_back({static_cast<Key>(rng.below(400)), rng.below(2) == 0,
+                     false, i});
+    }
+    std::stable_sort(ops.begin(), ops.end(),
+                     [](const BatchOp& a, const BatchOp& b) {
+                       return a.key < b.key;
+                     });
+    t.apply_batch(ops.data(), n);
+    // The oracle replays the ops in the same (sorted) order the batch
+    // applied them; each result must match the sequential outcome.
+    for (const BatchOp& op : ops) {
+      if (op.is_insert) {
+        ASSERT_EQ(op.result, ref.insert(op.key).second) << op.key;
+      } else {
+        ASSERT_EQ(op.result, ref.erase(op.key) > 0) << op.key;
+      }
+    }
+    ASSERT_EQ(t.size(), static_cast<std::int64_t>(ref.size()));
+  }
+  // The one merged Propagate must have carried everything to the root:
+  // the version tree agrees with the oracle exactly.
+  const auto keys = t.range_collect(0, 400);
+  ASSERT_EQ(std::set<Key>(keys.begin(), keys.end()), ref);
+  EbrGuard g;
+  EXPECT_TRUE(version_tree_valid<SizeAug>(t.root_version_unsafe(),
+                                          std::numeric_limits<Key>::min(),
+                                          kInf2));
+}
+
+TEST_F(CombiningTest, ApplyBatchHandlesDuplicateKeysInOrder) {
+  Bat<SizeAug> t;
+  // insert(5), insert(5), erase(5), insert(9) — sorted, duplicates kept in
+  // order: results must be the sequential ones.
+  std::vector<BatchOp> ops = {
+      {5, true, false, 0},
+      {5, true, false, 1},
+      {5, false, false, 2},
+      {9, true, false, 3},
+  };
+  t.apply_batch(ops.data(), static_cast<int>(ops.size()));
+  EXPECT_TRUE(ops[0].result);
+  EXPECT_FALSE(ops[1].result) << "second insert of the same key fails";
+  EXPECT_TRUE(ops[2].result);
+  EXPECT_TRUE(ops[3].result);
+  EXPECT_FALSE(t.contains(5));
+  EXPECT_TRUE(t.contains(9));
+  EXPECT_EQ(t.size(), 1);
+}
+
+TEST_F(CombiningTest, ApplyBatchSpanningTheWholeTreeStaysConsistent) {
+  // Batches that touch far-apart subtrees exercise the post-order sweep's
+  // shared-prefix deferral (the root must be refreshed exactly last).
+  Bat<SizeAug> t;
+  for (Key k = 0; k < 2000; k += 2) t.insert(k);
+  std::vector<BatchOp> ops;
+  for (int i = 0; i < 40; ++i) {
+    ops.push_back({static_cast<Key>(i * 50 + (i % 2)), i % 2 == 0, false, i});
+  }
+  t.apply_batch(ops.data(), static_cast<int>(ops.size()));
+  EbrGuard g;
+  EXPECT_TRUE(version_tree_valid<SizeAug>(t.root_version_unsafe(),
+                                          std::numeric_limits<Key>::min(),
+                                          kInf2));
+  // Node tree and version tree agree (the batch propagate reached the
+  // root for every key).
+  std::set<Key> node_keys;
+  for (Key k = 0; k < 2000; ++k) {
+    if (t.node_tree().contains(k)) node_keys.insert(k);
+  }
+  const auto vkeys = t.range_collect(0, 2000);
+  EXPECT_EQ(std::set<Key>(vkeys.begin(), vkeys.end()), node_keys);
+}
+
+// --- CombinedSet semantics ------------------------------------------------
+
+TEST_F(CombiningTest, CombinedSetSequentialOracleEquivalence) {
+  CombinedBat t;
+  std::set<Key> ref;
+  Xoshiro256 rng(77);
+  for (int i = 0; i < 8000; ++i) {
+    const Key k = static_cast<Key>(rng.below(300));
+    switch (rng.below(4)) {
+      case 0:
+        ASSERT_EQ(t.insert(k), ref.insert(k).second);
+        break;
+      case 1:
+        ASSERT_EQ(t.erase(k), ref.erase(k) > 0);
+        break;
+      case 2:
+        ASSERT_EQ(t.contains(k), ref.count(k) > 0);
+        break;
+      default:
+        ASSERT_EQ(t.rank(k), static_cast<std::int64_t>(std::distance(
+                                 ref.begin(), ref.upper_bound(k))));
+    }
+  }
+  ASSERT_EQ(t.size(), static_cast<std::int64_t>(ref.size()));
+}
+
+TEST_F(CombiningTest, ShardedCombinedOracleEquivalence) {
+  ShardedCombined set(4000);
+  std::set<Key> ref;
+  Xoshiro256 rng(42);
+  for (int i = 0; i < 4000; ++i) {
+    const Key k = static_cast<Key>(rng.below(4000));
+    if (rng.below(3) == 0) {
+      ASSERT_EQ(set.erase(k), ref.erase(k) > 0) << k;
+    } else {
+      ASSERT_EQ(set.insert(k), ref.insert(k).second) << k;
+    }
+    if (i % 250 == 249) {
+      ASSERT_EQ(set.size(), static_cast<std::int64_t>(ref.size()));
+      ASSERT_EQ(set.range_count(900, 3100),
+                static_cast<std::int64_t>(
+                    std::distance(ref.lower_bound(900),
+                                  ref.upper_bound(3100))));
+    }
+  }
+}
+
+// --- concurrency: quiescent consistency under combining -------------------
+
+// Deterministic per-thread update streams; after quiescence the set equals
+// a sequential replay.  This is the harness CI runs under TSan; it covers
+// publishers, combiners, timeouts, and solo fallbacks racing.
+template <class Set>
+void run_quiescent_consistency_harness(Set& set, Key keyspace,
+                                       int updaters, int ops_per_thread) {
+  std::vector<std::thread> threads;
+  for (int t = 0; t < updaters; ++t) {
+    threads.emplace_back([&set, keyspace, updaters, ops_per_thread, t] {
+      // Each thread owns keys congruent to t mod updaters, so the final
+      // contents are deterministic despite interleaving.
+      Xoshiro256 rng(5000 + t);
+      for (int i = 0; i < ops_per_thread; ++i) {
+        const Key k =
+            static_cast<Key>(rng.below(static_cast<std::uint64_t>(keyspace)) /
+                             updaters * updaters) +
+            t;
+        if (rng.below(3) == 0) {
+          set.erase(k);
+        } else {
+          set.insert(k);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  std::set<Key> oracle;
+  for (int t = 0; t < updaters; ++t) {
+    Xoshiro256 rng(5000 + t);
+    for (int i = 0; i < ops_per_thread; ++i) {
+      const Key k =
+          static_cast<Key>(rng.below(static_cast<std::uint64_t>(keyspace)) /
+                           updaters * updaters) +
+          t;
+      if (rng.below(3) == 0) {
+        oracle.erase(k);
+      } else {
+        oracle.insert(k);
+      }
+    }
+  }
+  ASSERT_EQ(set.size(), static_cast<std::int64_t>(oracle.size()));
+  const auto keys = set.range_collect(0, keyspace + updaters);
+  ASSERT_EQ(keys.size(), oracle.size());
+  EXPECT_TRUE(std::equal(keys.begin(), keys.end(), oracle.begin()));
+}
+
+TEST_F(CombiningTest, MultiThreadedQuiescentConsistency) {
+  Counters::reset();
+  CombinedBat set;
+  run_quiescent_consistency_harness(set, Key{1} << 10, 4, 15000);
+  const auto c = Counters::snapshot();
+  // Every combiner pass counts as one batch (size >= 1), so batches must
+  // have happened, and the bookkeeping must be consistent.
+  EXPECT_GT(c[Counter::kCombineBatches], 0u);
+  EXPECT_GE(c[Counter::kCombineBatchedOps], c[Counter::kCombineBatches]);
+}
+
+TEST_F(CombiningTest, ShardedCombinedMultiThreadedQuiescentConsistency) {
+  ShardedCombined set(Key{1} << 12);
+  run_quiescent_consistency_harness(set, Key{1} << 12, 3, 12000);
+}
+
+TEST_F(CombiningTest, ConcurrentReadersSeeConsistentSnapshots) {
+  CombinedBat set;
+  for (Key k = 0; k < 1000; k += 2) set.insert(k);
+  std::atomic<bool> stop{false};
+  std::atomic<long> bad{0};
+  std::vector<std::thread> updaters;
+  for (int i = 0; i < 3; ++i) {
+    updaters.emplace_back([&, i] {
+      Xoshiro256 rng(i);
+      while (!stop.load()) {
+        const Key k = static_cast<Key>(rng.below(500)) * 2 + 1;
+        if (rng.below(2) == 0) {
+          set.insert(k);
+        } else {
+          set.erase(k);
+        }
+      }
+    });
+  }
+  for (int q = 0; q < 1500; ++q) {
+    // rank/range_count/size on the inner snapshot must stay coherent
+    // while batches land.
+    typename Bat<SizeAug>::Snapshot snap(set.inner());
+    const auto n = snap.size();
+    if (snap.range_count(0, 999) != n) bad.fetch_add(1);
+    if (snap.rank(999) != n) bad.fetch_add(1);
+    if (!snap.contains(500)) bad.fetch_add(1);
+  }
+  stop = true;
+  for (auto& th : updaters) th.join();
+  EXPECT_EQ(bad.load(), 0);
+}
+
+// --- delegation-timeout boundaries ----------------------------------------
+
+TEST_F(CombiningTest, ZeroTimeoutMeansAlwaysSoloAndStaysCorrect) {
+  Bat<SizeAug>::set_delegation_timeout(0);
+  Counters::reset();
+  CombinedBat set;
+  run_quiescent_consistency_harness(set, Key{1} << 10, 4, 10000);
+  const auto c = Counters::snapshot();
+  EXPECT_EQ(c[Counter::kCombineBatches], 0u)
+      << "budget 0 must disable combining entirely";
+  EXPECT_GT(c[Counter::kCombineSolo], 0u);
+  Counters::reset();
+}
+
+TEST_F(CombiningTest, HugeTimeoutStaysCorrect) {
+  // An effectively unbounded wait budget: waiters block on their slot
+  // until the combiner answers; progress then relies on lock inheritance
+  // (a waiter that finds the lock free drains the buffer itself).
+  Bat<SizeAug>::set_delegation_timeout(~std::uint64_t{0});
+  CombinedBat set;
+  run_quiescent_consistency_harness(set, Key{1} << 9, 4, 10000);
+}
+
+TEST_F(CombiningTest, TinyTimeoutForcesRetractionsAndStaysCorrect) {
+  Bat<SizeAug>::set_delegation_timeout(4);
+  CombinedBat set;
+  run_quiescent_consistency_harness(set, Key{1} << 10, 4, 10000);
+}
+
+TEST_F(CombiningTest, MaxBatchOneDisablesCombining) {
+  set_combine_max_batch(1);
+  Counters::reset();
+  CombinedBat set;
+  std::set<Key> ref;
+  Xoshiro256 rng(9);
+  for (int i = 0; i < 3000; ++i) {
+    const Key k = static_cast<Key>(rng.below(200));
+    if (rng.below(2) == 0) {
+      ASSERT_EQ(set.insert(k), ref.insert(k).second);
+    } else {
+      ASSERT_EQ(set.erase(k), ref.erase(k) > 0);
+    }
+  }
+  const auto c = Counters::snapshot();
+  EXPECT_EQ(c[Counter::kCombineBatches], 0u);
+  EXPECT_EQ(c[Counter::kCombineSolo], 3000u);
+  Counters::reset();
+}
+
+}  // namespace
+}  // namespace cbat

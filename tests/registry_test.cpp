@@ -114,6 +114,38 @@ TEST(Registry, ShardedStructureNamesResolve) {
   EXPECT_EQ(std::find(cmp.begin(), cmp.end(), "Sharded16-BAT"), cmp.end());
 }
 
+TEST(Registry, CombinedStructureNamesResolve) {
+  auto& reg = StructureRegistry::instance();
+  for (const char* name : {"Combined-BAT", "Sharded16-Combined-BAT"}) {
+    EXPECT_TRUE(reg.contains(name)) << name;
+    EXPECT_TRUE(reg.is_ranked(name)) << name;
+    auto set = reg.create(name);
+    ASSERT_NE(set, nullptr) << name;
+    EXPECT_EQ(set->name(), name);
+    EXPECT_TRUE(set->supports_order_statistics()) << name;
+    // The combining layer keeps the full RankedSet contract through the
+    // type-erased interface.
+    EXPECT_TRUE(set->insert(5));
+    EXPECT_TRUE(set->insert(11));
+    EXPECT_FALSE(set->insert(11));
+    EXPECT_EQ(set->size(), 2);
+    EXPECT_EQ(set->rank(11), 2);
+    EXPECT_EQ(set->select_query(1), 5);
+    EXPECT_EQ(set->range_count(0, 100), 2);
+    EXPECT_TRUE(set->erase(5));
+    EXPECT_EQ(set->size(), 1);
+    // warm_up is advisory and must be callable through the interface.
+    set->warm_up(64);
+  }
+  // Only the sharded-combined forest takes the key-range hint.
+  EXPECT_FALSE(reg.create("Combined-BAT")->set_key_range_hint(10000));
+  EXPECT_TRUE(
+      reg.create("Sharded16-Combined-BAT")->set_key_range_hint(10000));
+  // Not in the paper's comparison set.
+  const auto cmp = reg.comparison_set();
+  EXPECT_EQ(std::find(cmp.begin(), cmp.end(), "Combined-BAT"), cmp.end());
+}
+
 TEST(Registry, SingleTreesIgnoreKeyRangeHint) {
   auto set = bench::make_structure("BAT");
   ASSERT_NE(set, nullptr);
