@@ -44,3 +44,13 @@ cmake --build "$BUILD_DIR" -j
 # vacuously green.
 ctest --test-dir "$BUILD_DIR" --output-on-failure --no-tests=error \
   -j "$(nproc)" "${LABEL_ARGS[@]}" "$@"
+
+# Docs hygiene (the clang-format analogue for markdown): lint plus an
+# internal-link/anchor check over README.md, ROADMAP.md, and docs/ —
+# docs/ARCHITECTURE.md's consistency table is part of the verified
+# surface.  Skipped only where python3 is unavailable; CI always has it.
+if command -v python3 >/dev/null 2>&1; then
+  python3 scripts/check_markdown.py
+else
+  echo "verify.sh: python3 not found; skipping scripts/check_markdown.py" >&2
+fi

@@ -61,8 +61,54 @@ concept KeyRangeHintable = requires(S s, Key k) {
   { s.key_range_hint(k) } -> std::same_as<bool>;
 };
 
-// Type-erased view of a registered structure.  All operations are
-// linearizable and safe to call from any number of threads.
+// Consistency guarantee of a structure's composite queries — the
+// operations that read more than one key's state at once (size, rank,
+// select, range_count, range_aggregate, range collection).  Point
+// operations (insert/erase/contains) are linearizable for every
+// registered structure; composite queries are where guarantees diverge:
+//
+//   * kLinearizable: the query takes effect at one instant between its
+//     invocation and response; any update completed before the query
+//     began is included, none begun after it ends is.  Every single-tree
+//     structure gives this (queries run on one atomic root snapshot), as
+//     do ShardedSet's epoch-stamped "-Lin" variants.
+//   * kQuiescentlyConsistent: the API's weaker-than-linearizable bucket.
+//     For ShardedSet's default snapshot mode this means: the query
+//     observes a state containing every update completed before it began
+//     and none begun after it ended, but updates *concurrent with the
+//     query* may be observed inconsistently across shards (a later
+//     update seen, an earlier one missed).  Individual structures may be
+//     weaker still (ChromaticSet's size() traverses the live tree); the
+//     per-structure table in docs/ARCHITECTURE.md states each exact
+//     guarantee — consistency() only promises "not linearizable" here.
+//
+// The full per-structure, per-operation-class table lives in
+// docs/ARCHITECTURE.md ("Consistency guarantees").
+enum class Consistency { kLinearizable, kQuiescentlyConsistent };
+
+inline const char* consistency_name(Consistency c) {
+  return c == Consistency::kLinearizable ? "linearizable"
+                                         : "quiescently_consistent";
+}
+
+// Optional introspection: structures whose composite queries are weaker
+// than linearizable say so through a static hook; everything else defaults
+// to linearizable (the repository-wide contract for single trees).
+template <class S>
+concept ConsistencyIntrospectable = requires {
+  { S::composite_queries_linearizable() } -> std::convertible_to<bool>;
+};
+
+// Type-erased view of a registered structure.
+//
+// Thread-safety contract: every operation is safe to call from any number
+// of threads concurrently with any other, with no external locking.  Point
+// operations and single-structure queries are linearizable; composite
+// queries give the guarantee reported by consistency().  All operations
+// are non-blocking toward *other* threads' progress except where a
+// concrete structure documents bounded waiting (the combining layer's
+// publication spin and delegation's WaitForDelegatee, both bounded by
+// set_delegation_timeout and falling back to solo execution).
 class AbstractOrderedSet {
  public:
   virtual ~AbstractOrderedSet() = default;
@@ -84,6 +130,15 @@ class AbstractOrderedSet {
   // calls this before prefilling; structures without a use for it (all the
   // single trees) keep the no-op default.  Returns whether it was applied.
   virtual bool set_key_range_hint(Key /*max_key*/) { return false; }
+
+  // The guarantee this structure's composite queries (size/rank/select/
+  // range_*) give under concurrent updates; see the Consistency enum.  The
+  // benchmark driver reports it per run (stderr note + the JSON config's
+  // "consistency" field) so quiescently-consistent numbers are never
+  // mistaken for linearizable ones.
+  virtual Consistency consistency() const {
+    return Consistency::kLinearizable;
+  }
 
   // Advisory: the calling thread expects to run about this many updates.
   // Structures backed by per-thread object pools pre-fault their free
@@ -128,6 +183,15 @@ class SetModel final : public AbstractOrderedSet {
   bool set_key_range_hint(Key max_key) override {
     if constexpr (KeyRangeHintable<T>) return t_.key_range_hint(max_key);
     return false;
+  }
+
+  Consistency consistency() const override {
+    if constexpr (ConsistencyIntrospectable<T>) {
+      return T::composite_queries_linearizable()
+                 ? Consistency::kLinearizable
+                 : Consistency::kQuiescentlyConsistent;
+    }
+    return Consistency::kLinearizable;
   }
 
   void warm_up(std::size_t expected_updates) override {

@@ -36,6 +36,22 @@ static_assert(RankedSet<CombinedSet<Bat<SizeAug>>>);
 static_assert(CombinableInner<Bat<SizeAug>>);
 static_assert(RankedSet<ShardedSet<CombinedSet<Bat<SizeAug>>, 16>>);
 static_assert(KeyRangeHintable<ShardedSet<CombinedSet<Bat<SizeAug>>, 16>>);
+// Consistency introspection: the shard layer reports its composite-query
+// guarantee per snapshot policy (quiescent by default, linearizable for
+// the epoch-stamped "-Lin" variants); the epoch source reaches a BAT both
+// directly and through the combining layer.
+static_assert(ConsistencyIntrospectable<ShardedSet<Bat<SizeAug>, 16>>);
+static_assert(!ShardedSet<Bat<SizeAug>, 16>::composite_queries_linearizable());
+static_assert(ShardedSet<Bat<SizeAug>, 16, SnapshotPolicy::kLinearizable>::
+                  composite_queries_linearizable());
+static_assert(EpochStampedInner<Bat<SizeAug>>);
+static_assert(EpochStampedInner<CombinedSet<Bat<SizeAug>>>);
+static_assert(RankedSet<ShardedSet<Bat<SizeAug>, 16,
+                                   SnapshotPolicy::kLinearizable>>);
+static_assert(RankedSet<ShardedSet<CombinedSet<Bat<SizeAug>>, 16,
+                                   SnapshotPolicy::kLinearizable>>);
+// Single trees keep the default: no hook, composite queries linearizable.
+static_assert(!ConsistencyIntrospectable<Bat<SizeAug>>);
 
 namespace {
 std::mutex& registry_mutex() {
@@ -71,6 +87,15 @@ StructureRegistry::StructureRegistry() {
   register_type<CombinedSet<Bat<SizeAug>>>("Combined-BAT");
   register_type<ShardedSet<CombinedSet<Bat<SizeAug>>, 16>>(
       "Sharded16-Combined-BAT");
+  // Linearizable-snapshot forests (snapshot_consistency scenario): same
+  // write path as their quiescent counterparts — epoch stamping is on in
+  // both — but snapshot acquisition is the two-phase epoch cut, so every
+  // cross-shard composite query linearizes.
+  register_type<ShardedSet<Bat<SizeAug>, 16, SnapshotPolicy::kLinearizable>>(
+      "Sharded16-BAT-Lin");
+  register_type<
+      ShardedSet<CombinedSet<Bat<SizeAug>>, 16, SnapshotPolicy::kLinearizable>>(
+      "Sharded16-Combined-BAT-Lin");
 }
 
 void StructureRegistry::register_structure(std::string name, Entry entry) {

@@ -147,6 +147,17 @@ RunResult run_on(SetAdapter& set, const RunConfig& cfg) {
                  "results in this run are the documented fallbacks\n",
                  set.name().c_str());
   }
+  // Per-structure consistency report (api::AbstractOrderedSet::
+  // consistency): composite-query cells on a quiescently consistent
+  // structure measure a weaker guarantee than the same cells on a
+  // linearizable one, so say so next to the numbers.
+  if (cfg.workload.query_pct > 0 &&
+      set.consistency() == api::Consistency::kQuiescentlyConsistent) {
+    std::fprintf(stderr,
+                 "note: %s composite queries are quiescently consistent, "
+                 "not linearizable (see docs/ARCHITECTURE.md)\n",
+                 set.name().c_str());
+  }
   // Let keyspace-aware structures (the shard layer) align their key map to
   // the workload before any key goes in.
   set.set_key_range_hint(cfg.workload.max_key);
@@ -176,6 +187,7 @@ RunResult run_on(SetAdapter& set, const RunConfig& cfg) {
 
   RunResult r;
   r.structure = set.name();
+  r.consistency = api::consistency_name(set.consistency());
   r.config = cfg;
   r.seconds = secs;
   LatencyHistogram update_hist, find_hist, query_hist;

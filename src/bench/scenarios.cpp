@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -735,6 +736,81 @@ void run_combine_sweep(ScenarioContext& ctx) {
   Counters::reset();
 }
 
+// snapshot_consistency: acquisition cost of the linearizable cross-shard
+// snapshot (epoch fetch_add + per-shard root-history resolution) against
+// the default quiescent read-the-roots path.  Each pair runs the same
+// composite-query mixes — rank queries, which are pure snapshot
+// acquisition plus one descent, so any per-acquisition overhead shows
+// directly — on the quiescent structure and its "-Lin" twin; both share
+// the same write path (epoch stamping is on in both), so the series
+// ratio isolates what linearizability costs at acquisition time.  The
+// per-pair geomean ratio is emitted as a metric-only run
+// (`lin_over_quiescent_geomean`); the acceptance bar is >= 0.85 on the
+// smoke grid (ROADMAP records the measured value).
+void run_snapshot_consistency(ScenarioContext& ctx) {
+  const Args& args = *ctx.args;
+  const long maxkey = pick(args, "--maxkey", 1000000, 20000, 100000);
+  const long tt = ctx.fixed_threads();
+  const int ms = ctx.cell_ms();
+  // Query share in percent; the rest splits evenly into inserts/deletes
+  // so epochs keep advancing while snapshots are taken.
+  const std::vector<long> query_shares =
+      args.get_list("--query-pct", {10, 50, 90});
+
+  struct Pair {
+    const char* quiescent;
+    const char* lin;
+  };
+  const Pair pairs[] = {
+      {"Sharded16-BAT", "Sharded16-BAT-Lin"},
+      {"Sharded16-Combined-BAT", "Sharded16-Combined-BAT-Lin"},
+  };
+
+  const std::string table = "snapshot_consistency: TT " + std::to_string(tt) +
+                            ", MK " + std::to_string(maxkey) +
+                            ", (100-x)/2-(100-x)/2-0-x rank — throughput "
+                            "(ops/s)";
+  auto config_for = [&](long share) {
+    RunConfig cfg;
+    cfg.workload.insert_pct = static_cast<double>(100 - share) / 2;
+    cfg.workload.delete_pct = static_cast<double>(100 - share) / 2;
+    cfg.workload.query_pct = static_cast<double>(share);
+    cfg.workload.query_kind = QueryKind::kRank;
+    cfg.workload.max_key = maxkey;
+    cfg.threads = static_cast<int>(tt);
+    cfg.duration_ms = ms;
+    return cfg;
+  };
+  for (const Pair& p : pairs) {
+    double log_ratio_sum = 0;
+    int cells = 0;
+    for (long share : query_shares) {
+      const std::string x = std::to_string(share);
+      ctx.record(table, "query_pct", x, p.quiescent, p.quiescent,
+                 config_for(share));
+      const double quiescent_tput =
+          ctx.out->runs.back().result.throughput();
+      ctx.record(table, "query_pct", x, p.lin, p.lin, config_for(share));
+      const double lin_tput = ctx.out->runs.back().result.throughput();
+      if (quiescent_tput > 0 && lin_tput > 0) {
+        log_ratio_sum += std::log(lin_tput / quiescent_tput);
+        ++cells;
+      }
+    }
+    // Metric-only summary row: the linearizable series' geomean
+    // throughput relative to its quiescent twin.
+    const double geo = cells > 0 ? std::exp(log_ratio_sum / cells) : 0.0;
+    RunRecord rec;
+    rec.table = table;
+    rec.x_label = "pair";
+    rec.x = p.lin;
+    rec.series = std::string(p.lin) + "/vs-quiescent";
+    rec.metrics = {{"lin_over_quiescent_geomean", geo}};
+    ctx.out->runs.push_back(std::move(rec));
+    std::fprintf(stderr, "  [%s] lin/quiescent geomean %.3f\n", p.lin, geo);
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Micro-kernel scenarios: the former google-benchmark binaries, re-hosted
 // on a plain calibrated timing loop so they need no external library and
@@ -1016,6 +1092,10 @@ void register_builtin_scenarios(ScenarioRegistry& reg) {
            "Combining layer: batch-size x threads x update-share grid with "
            "per-batch occupancy stats",
            run_combine_sweep});
+  reg.add({"snapshot_consistency",
+           "Shard layer: linearizable (epoch-cut) vs quiescent snapshot "
+           "acquisition cost",
+           run_snapshot_consistency});
   reg.add({"micro_components",
            "Micro: component kernels (EBR guard, Zipf, flat set, propagate, "
            "queries)",
@@ -1113,6 +1193,8 @@ void append_run_json(JsonWriter& w, const RunRecord& rec) {
     const RunResult& r = rec.result;
     const Workload& wl = r.config.workload;
     w.kv("structure", r.structure);
+    // Micro kernels have no structure-level guarantee to report.
+    if (!r.consistency.empty()) w.kv("consistency", r.consistency);
     w.key("config");
     w.begin_object();
     w.kv("mix", wl.mix_string());
@@ -1240,7 +1322,8 @@ void print_usage(std::FILE* f) {
       "  --repeat N       best-of-N repetitions per cell (smoke default: "
       "2)\n"
       "  --batch a,b      combining batch-size sweep (combine_sweep)\n"
-      "  --theta X        Zipf theta override (combine_sweep)\n");
+      "  --theta X        Zipf theta override (combine_sweep)\n"
+      "  --query-pct a,b  query-share sweep (snapshot_consistency)\n");
 }
 
 }  // namespace

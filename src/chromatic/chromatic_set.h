@@ -21,6 +21,16 @@ class ChromaticSet {
   // Theta(n) traversal under an EBR guard; satisfies api::OrderedSet.
   std::int64_t size() const;
 
+  // Consistency introspection (api::ConsistencyIntrospectable): size()
+  // traverses the live tree, not a snapshot.  Under concurrent
+  // *rebalancing* a rotation can move even a long-completed key across
+  // the traversal frontier, so the count is best-effort while updates
+  // run — strictly weaker than the shard layer's quiescent snapshots,
+  // which do pin an immutable cut (docs/ARCHITECTURE.md spells out the
+  // difference).  Exact whenever no update is concurrent.  Reported as
+  // kQuiescentlyConsistent, the API's weaker-than-linearizable bucket.
+  static constexpr bool composite_queries_linearizable() { return false; }
+
   std::size_t size_slow() const;
   ChromaticTree<NoVersionPolicy>::InvariantReport check_invariants() const;
   ChromaticTree<NoVersionPolicy>& tree() { return tree_; }

@@ -7,5 +7,10 @@ namespace cbat {
 // own a private combining buffer.
 template class CombinedSet<Bat<SizeAug>>;
 template class ShardedSet<CombinedSet<Bat<SizeAug>>, 16>;
+// Linearizable-snapshot variant ("Sharded16-Combined-BAT-Lin"): the epoch
+// source reaches the inner BATs through CombinedSet's passthrough, so
+// combined batches stamp exactly like solo updates.
+template class ShardedSet<CombinedSet<Bat<SizeAug>>, 16,
+                          SnapshotPolicy::kLinearizable>;
 
 }  // namespace cbat

@@ -17,12 +17,18 @@
 // that PR 3's keyspace partitioning already routes to one root.
 //
 // Queries bypass the buffer entirely — they are reads on the inner BAT's
-// version tree and keep its snapshot semantics.  A published-but-unapplied
-// update is an in-flight operation: it is allowed to be invisible until
-// its batch's root refresh, which always happens before its response.
+// version tree and keep its snapshot semantics: every query (point,
+// single-key order statistic, or composite) runs on one atomic root
+// version, so CombinedSet's whole query surface stays linearizable (see
+// docs/ARCHITECTURE.md "Consistency guarantees").  A published-but-
+// unapplied update is an in-flight operation: it is allowed to be
+// invisible until its batch's root refresh, which always happens before
+// its response — each request linearizes between publication and
+// response, exactly like a solo update.
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <thread>
@@ -98,6 +104,17 @@ class CombinedSet {
   }
 
   const V* root_version_unsafe() const { return inner_.root_version_unsafe(); }
+
+  // Epoch-source passthrough for the shard layer's linearizable snapshots:
+  // a combined batch stamps once per root CAS, exactly like a solo update,
+  // and every response (combined or solo) is preceded by that stamp.
+  void set_epoch_source(std::atomic<std::uint64_t>* counter)
+    requires requires(Inner t, std::atomic<std::uint64_t>* c) {
+      t.set_epoch_source(c);
+    }
+  {
+    inner_.set_epoch_source(counter);
+  }
 
   void warm_up(std::size_t expected_updates) {
     inner_.warm_up(expected_updates);
@@ -220,5 +237,7 @@ class CombinedSet {
 // combined_set.cpp.
 extern template class CombinedSet<Bat<SizeAug>>;
 extern template class ShardedSet<CombinedSet<Bat<SizeAug>>, 16>;
+extern template class ShardedSet<CombinedSet<Bat<SizeAug>>, 16,
+                                 SnapshotPolicy::kLinearizable>;
 
 }  // namespace cbat

@@ -27,6 +27,19 @@
 // runs out executes solo (the inner tree is safe under concurrent solo
 // updates), so a stalled combiner delays at most the requests it already
 // claimed.
+//
+// Thread-safety contract.  Publisher-side calls (publish, slot_state,
+// try_retract, take_result) are safe from any thread at any time; a
+// publisher may only retract/consume the slot index its own publish
+// returned.  Combiner-side calls (drain, complete, and reads through the
+// drain cursor) require holding the buffer lock (try_lock/unlock); the
+// lock's acquire/release edges are what order the cursor and the claimed
+// payloads.  Blocking behavior: nothing here waits unboundedly — publish
+// is one bounded slot sweep, drain one bounded sweep gated by the
+// in-flight count, and the only spinning (a publisher awaiting kDone)
+// lives in CombinedSet, bounded by set_delegation_timeout with
+// retract-or-solo fallback, except after a combiner claimed the request,
+// when exactly that combiner will complete it.
 #pragma once
 
 #include <atomic>

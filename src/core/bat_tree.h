@@ -288,6 +288,21 @@ class BatTree {
 
   // --- configuration & introspection --------------------------------------
 
+  // Attaches the global epoch counter that root installations stamp
+  // (cross-shard linearizable snapshots; the shard layer owns the counter
+  // and calls this once per shard before any update runs).  With a source
+  // attached, every top-level root refresh links the new root version to
+  // the one it replaced (`prev_root`) and the stamps follow the vcas
+  // discipline: the superseded root's stamp is finalized before the
+  // install CAS, the new root is stamped right after it, and Propagate
+  // help-finalizes the current root's stamp before returning — so an
+  // update's stamp is always assigned no later than its response, and
+  // stamps are monotone along every root's prev_root chain.  Null (the
+  // default) disables stamping; standalone trees pay only a dead branch.
+  void set_epoch_source(std::atomic<std::uint64_t>* counter) {
+    epoch_source_ = counter;
+  }
+
   // Spin budget a delegating Propagate waits before resuming on its own
   // (making the scheme non-blocking, §5).  0 disables the timeout.  The
   // combining layer (src/combine/) reuses the same budget for how long a
@@ -388,6 +403,11 @@ class BatTree {
   RefreshResult refresh(Node* x, PropStatus* ps) {
     RefreshResult r;
     V* old = read_version(x);
+    const bool stamped_root = x == tree_.root() && epoch_source_ != nullptr;
+    // Epoch discipline: a root version must carry its final stamp before a
+    // successor replaces it (keeps prev_root chains stamp-monotone and
+    // lets snapshot walks stop at the first stamp <= their epoch).
+    if (stamped_root) version_epoch<Aug>(old, *epoch_source_);
     Node* xl;
     do {
       xl = x->child[0].load(std::memory_order_acquire);
@@ -400,11 +420,13 @@ class BatTree {
     } while (x->child[1].load(std::memory_order_acquire) != xr);
     auto* nv =
         pool_new<V>(r.vl, r.vr, x->key, Aug::combine(r.vl->aug, r.vr->aug), ps);
+    if (stamped_root) nv->prev_root = old;
     Counters::bump(Counter::kRefreshCas);
     void* expected = old;
     if (x->version.compare_exchange_strong(expected, nv,
                                            std::memory_order_acq_rel,
                                            std::memory_order_acquire)) {
+      if (stamped_root) version_epoch<Aug>(nv, *epoch_source_);
       r.success = true;
       r.old = old;
       return r;
@@ -470,6 +492,16 @@ class BatTree {
       if (top == root) break;
     }
 
+    // Epoch discipline: before this update reports (or releases delegated
+    // waiters via the done flag), the root version covering it — installed
+    // by us or by the refresh that beat us — must carry its final stamp,
+    // so no snapshot acquired after our response can place us later than
+    // its cut.  Must also precede the retire flush below: a snapshot walk
+    // dereferences a prev_root only while stamps read above its epoch, so
+    // a superseded root may be retired only once the head is stamped.
+    if (epoch_source_ != nullptr) {
+      version_epoch<Aug>(root_version(), *epoch_source_);
+    }
     if (ps != nullptr) {
       ps->done.store(true, std::memory_order_release);
       // §6: safe to retire at the end of the creating Propagate even while
@@ -549,6 +581,12 @@ class BatTree {
         s.refreshed.insert(top);
         if (top == root) break;  // only reached while draining the last key
       }
+    }
+    // Same epoch discipline as the single-key Propagate: finalize the
+    // covering root's stamp before the batch reports and before any
+    // superseded root is retired.
+    if (epoch_source_ != nullptr) {
+      version_epoch<Aug>(root_version(), *epoch_source_);
     }
     for (V* v : s.to_retire) pool_retire(v);
   }
@@ -643,6 +681,10 @@ class BatTree {
   }
 
   static inline std::uint64_t delegation_timeout_spins_ = 1u << 16;
+
+  // Global epoch counter for root stamping; null (default) disables it.
+  // Set once, before the tree sees concurrent updates (see the setter).
+  std::atomic<std::uint64_t>* epoch_source_ = nullptr;
 
   ChromaticTree<detail::BatVersionPolicy<Aug>> tree_;
 };

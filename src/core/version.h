@@ -24,6 +24,11 @@ struct PropStatus {
   std::atomic<PropStatus*> delegatee{nullptr};
 };
 
+// Sentinel for a root version whose epoch stamp has not been assigned yet
+// (vcas-style deferred timestamping; see the epoch helpers below).  Real
+// stamps are >= 1, so value-initialized versions start unstamped.
+inline constexpr std::uint64_t kEpochTbd = 0;
+
 template <Augmentation Aug>
 struct Version {
   using Value = typename Aug::Value;
@@ -34,7 +39,61 @@ struct Version {
   Value aug;       // the supplementary fields
   PropStatus* status;  // Propagate that installed this version (may be null)
 
+  // Root-history fields, used only by versions installed at a tree's root
+  // node when an epoch source is attached (BatTree::set_epoch_source; the
+  // shard layer's linearizable snapshots).  `prev_root` links to the root
+  // version this one replaced (written before publication, immutable
+  // after); `epoch` is the global-counter stamp assigned *after* the
+  // install — mutable so readers can help-finalize it through const
+  // snapshot pointers.  Both stay zero/null on non-root versions.
+  //
+  // Deliberate tradeoff: these 16 bytes ride on EVERY version, including
+  // the interior/leaf versions that never use them, rather than splitting
+  // roots into an extended record — the refresh path, the retire path,
+  // and the pools would all have to distinguish two version types flowing
+  // through one CAS slot (returning an extended record to the plain pool
+  // corrupts both free lists).  The smoke gate showed the uniform layout
+  // inside measurement noise on the unstamped single-tree figures.
+  Version* prev_root = nullptr;
+  mutable std::atomic<std::uint64_t> epoch{kEpochTbd};
+
   bool is_leaf() const { return left == nullptr; }
 };
+
+// Finalizes v's epoch stamp if still unassigned and returns the stamp.
+// The counter value is read only after `v` is known (program order), which
+// is what keeps stamps monotone along a root's prev_root chain: a version
+// can only be help-stamped by threads that saw it installed, and every
+// stamp CAS that completed before that install used a smaller-or-equal
+// counter value.  First CAS wins; losers return the established stamp.
+template <Augmentation Aug>
+std::uint64_t version_epoch(const Version<Aug>* v,
+                            const std::atomic<std::uint64_t>& counter) {
+  std::uint64_t s = v->epoch.load(std::memory_order_acquire);
+  if (s != kEpochTbd) return s;
+  const std::uint64_t now = counter.load(std::memory_order_seq_cst);
+  if (v->epoch.compare_exchange_strong(s, now, std::memory_order_acq_rel,
+                                       std::memory_order_acquire)) {
+    return now;
+  }
+  return s;
+}
+
+// Resolves a root version against snapshot epoch `e`: walks the root
+// history backward to the newest root stamped at or before `e`, helping to
+// finalize unassigned stamps on the way.  Safe under an EBR guard taken
+// before `e` was acquired: a stamp observed to be > `e` (or helped past it)
+// was assigned after the guard began, and a superseded root is only
+// retired after its stamp is final, so every prev_root this walk
+// dereferences was retired — if at all — inside the guard's epoch.
+template <Augmentation Aug>
+const Version<Aug>* version_resolve_epoch(
+    const Version<Aug>* v, std::uint64_t e,
+    const std::atomic<std::uint64_t>& counter) {
+  while (v->prev_root != nullptr && version_epoch(v, counter) > e) {
+    v = v->prev_root;
+  }
+  return v;
+}
 
 }  // namespace cbat

@@ -32,5 +32,9 @@ template class ShardedSet<Bat<SizeAug>, 4>;
 template class ShardedSet<Bat<SizeAug>, 16>;
 template class ShardedSet<Bat<SizeAug>, 64>;
 template class ShardedSet<BatDel<SizeAug>, 16>;
+// Linearizable-snapshot variants (epoch-stamped roots; the 4-shard one is
+// test-only, the 16-shard one is registered as "Sharded16-BAT-Lin").
+template class ShardedSet<Bat<SizeAug>, 4, SnapshotPolicy::kLinearizable>;
+template class ShardedSet<Bat<SizeAug>, 16, SnapshotPolicy::kLinearizable>;
 
 }  // namespace cbat

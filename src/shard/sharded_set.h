@@ -18,11 +18,27 @@
 // Consistency: each shard is a BAT, so every single-shard operation is
 // linearizable.  A `Snapshot` pins all shard root versions under one EBR
 // guard; all queries through one Snapshot see the same immutable forest
-// (multi-query consistency).  Because the roots are read one after another,
-// a cross-shard query is *quiescently consistent* rather than linearizable:
-// it sees every update that completed before the Snapshot was taken and no
-// update that started after it.  Making the cut linearizable (e.g. a global
-// version vector) is an open ROADMAP item.
+// (multi-query consistency).  How the cut is *acquired* is the
+// SnapshotPolicy template parameter:
+//
+//   * kQuiescent (default): the roots are read one after another, so a
+//     cross-shard query is quiescently consistent, not linearizable — it
+//     sees every update that completed before the Snapshot was taken and
+//     no update that started after it, but may observe a later update
+//     while missing an earlier one on a different shard.
+//   * kLinearizable: the set owns a global epoch counter that every
+//     shard-root installation stamps (BatTree::set_epoch_source, vcas-
+//     style deferred timestamps as in Wei et al.'s constant-time
+//     snapshots).  Acquisition is two-phase: fetch_add the counter — the
+//     snapshot's linearization point — then resolve each shard's root to
+//     the newest version stamped at or before that epoch, walking the
+//     root's prev_root history backward when an installation raced past
+//     the cut.  Every composite query on the snapshot then linearizes at
+//     the fetch_add, closing the gap the quiescent mode leaves (and the
+//     correctness gap that blocks hot-shard rebalancing; see ROADMAP).
+//     Updates pay one counter load plus one uncontended stamp CAS per
+//     root refresh; acquisition pays the fetch_add plus a usually-empty
+//     history walk (see the snapshot_consistency bench scenario).
 //
 // Shard map: shard_of(k) = clamp(k / width) with width = ceil(keyspace /
 // NumShards).  The keyspace defaults to `default_keyspace()` and can be
@@ -72,8 +88,21 @@ concept ShardableInner = requires(Inner t, const Inner ct, Key k) {
   { ct.root_version_unsafe() };
 };
 
-template <class Inner = Bat<SizeAug>, int NumShards = 16>
-  requires ShardableInner<Inner> && (NumShards >= 1)
+// Inner structures whose root installations can stamp a shared epoch
+// counter (BatTree and wrappers that forward set_epoch_source).  Required
+// by SnapshotPolicy::kLinearizable; quiescent forests stamp too when the
+// inner supports it, so the two policies differ only in acquisition.
+template <class Inner>
+concept EpochStampedInner =
+    requires(Inner t, std::atomic<std::uint64_t>* c) { t.set_epoch_source(c); };
+
+// Cross-shard snapshot acquisition mode; see the header comment.
+enum class SnapshotPolicy { kQuiescent, kLinearizable };
+
+template <class Inner = Bat<SizeAug>, int NumShards = 16,
+          SnapshotPolicy Policy = SnapshotPolicy::kQuiescent>
+  requires ShardableInner<Inner> && (NumShards >= 1) &&
+           (Policy == SnapshotPolicy::kQuiescent || EpochStampedInner<Inner>)
 class ShardedSet {
  public:
   using Aug = typename Inner::AugType;
@@ -81,10 +110,39 @@ class ShardedSet {
   using V = Version<Aug>;
 
   ShardedSet() : ShardedSet(shard_detail::default_keyspace()) {}
-  explicit ShardedSet(Key keyspace) { repartition(keyspace); }
+  explicit ShardedSet(Key keyspace) {
+    repartition(keyspace);
+    // Attach the epoch counter before any update can run, so every root
+    // the forest ever installs (beyond the initial empty roots, which the
+    // resolve walk accepts as the oldest state) is stamped.  Stamping is
+    // on under BOTH policies, deliberately: (a) it is what keeps the
+    // snapshot_consistency ratio a pure *acquisition*-cost measurement
+    // (the write paths are identical), and (b) the planned hot-shard
+    // migration protocol (ROADMAP) needs epoch cuts on the *default*
+    // quiescent forests.  The quiescent-side cost is one counter load
+    // plus one uncontended CAS on a just-written line per root refresh —
+    // inside smoke-gate noise.
+    if constexpr (EpochStampedInner<Inner>) {
+      for (auto& s : shards_) s->set_epoch_source(&*epoch_);
+    }
+  }
 
   static constexpr int num_shards() { return NumShards; }
+  static constexpr SnapshotPolicy snapshot_policy() { return Policy; }
+
+  // Introspection hook picked up by the API layer (SetModel::consistency):
+  // cross-shard composite queries linearize only under kLinearizable.
+  static constexpr bool composite_queries_linearizable() {
+    return Policy == SnapshotPolicy::kLinearizable;
+  }
+
   Key keyspace() const { return keyspace_; }
+
+  // Current value of the snapshot epoch counter (tests; advanced only by
+  // linearizable snapshot acquisitions, read by every root stamp).
+  std::uint64_t current_epoch() const {
+    return epoch_->load(std::memory_order_seq_cst);
+  }
 
   // Adapts the shard map to keys drawn from [0, max_key).  Only honored
   // while the set is empty — repartitioning a populated forest would strand
@@ -130,22 +188,51 @@ class ShardedSet {
     return Snapshot(*this).keys(lo, hi, limit);
   }
 
-  // Pins every shard's root version under ONE epoch guard: `guard_` is
+  // Pins every shard's root version under ONE EBR guard: `guard_` is
   // declared (and therefore constructed) before the root-pinning loop in
   // the constructor runs, and it spans every query made through the
-  // snapshot — composite queries never re-enter the EBR per shard.  The
-  // shard-size prefix sums are materialized lazily, once, on the first
-  // query that needs them (rank/select/size); order-free queries such as
-  // floor or range_aggregate skip the O(NumShards) size reads entirely.
+  // snapshot — composite queries never re-enter the EBR per shard.  Under
+  // SnapshotPolicy::kLinearizable the pinning loop is the second phase of
+  // the two-phase acquisition: phase one increments the owner's epoch
+  // counter (the snapshot's linearization point), phase two resolves each
+  // shard's root against that epoch, walking the root's prev_root history
+  // backward past any installation stamped after the cut.  The shard-size
+  // prefix sums are materialized lazily, once, on the first query that
+  // needs them (rank/select/size); order-free queries such as floor or
+  // range_aggregate skip the O(NumShards) size reads entirely.
   class Snapshot {
    public:
-    explicit Snapshot(const ShardedSet& s) : owner_(&s) {
+    // Test-only seam: called with the shard index right before that
+    // shard's root is read, letting deterministic interleaving tests
+    // (tests/linearizability_test.cpp) run updates mid-acquisition.
+    using MidAcquireHook = void (*)(void* ctx, int next_shard);
+
+    explicit Snapshot(const ShardedSet& s) : Snapshot(s, nullptr, nullptr) {}
+    Snapshot(const ShardedSet& s, MidAcquireHook hook, void* hook_ctx)
+        : owner_(&s) {
+      if constexpr (Policy == SnapshotPolicy::kLinearizable) {
+        // fetch_add (not a plain read): every root stamped after this
+        // point reads a counter value > epoch_, so it resolves past the
+        // cut — and every update whose response preceded this call was
+        // stamped <= epoch_, so it resolves inside it.
+        epoch_ = s.epoch_->fetch_add(1, std::memory_order_seq_cst);
+      }
       for (int i = 0; i < NumShards; ++i) {
-        roots_[i] = s.shards_[i]->root_version_unsafe();
+        if (hook != nullptr) hook(hook_ctx, i);
+        const V* r = s.shards_[i]->root_version_unsafe();
+        if constexpr (Policy == SnapshotPolicy::kLinearizable) {
+          r = version_resolve_epoch<Aug>(r, epoch_, *s.epoch_);
+        }
+        roots_[i] = r;
       }
     }
     Snapshot(const Snapshot&) = delete;
     Snapshot& operator=(const Snapshot&) = delete;
+
+    // The acquisition epoch (kLinearizable; 0 under kQuiescent).  All
+    // composite queries on this snapshot linearize at the counter
+    // increment that returned it.
+    std::uint64_t epoch() const { return epoch_; }
 
     bool contains(Key k) const {
       return version_contains<Aug>(root_of(k), k);
@@ -264,6 +351,7 @@ class ShardedSet {
 
     EbrGuard guard_;
     const ShardedSet* owner_;
+    std::uint64_t epoch_ = 0;
     std::array<const V*, NumShards> roots_;
     mutable std::once_flag prefix_once_;
     mutable std::array<std::int64_t, NumShards + 1> prefix_;
@@ -302,6 +390,12 @@ class ShardedSet {
 
   Key keyspace_ = 0;
   Key width_ = 1;
+  // Snapshot epoch counter.  Starts at 1 so every assigned stamp is
+  // distinguishable from kEpochTbd (0).  Padded: every update's root
+  // stamp loads it, every linearizable acquisition fetch_adds it.
+  // Mutable: acquisition advances it from const composite queries; it is
+  // bookkeeping for the cut, not observable set state.
+  mutable Padded<std::atomic<std::uint64_t>> epoch_{{1}};
   // Padded: shards are updated by different threads; their tree roots must
   // not share cache lines.
   std::array<Padded<Inner>, NumShards> shards_;
@@ -314,5 +408,9 @@ extern template class ShardedSet<Bat<SizeAug>, 4>;
 extern template class ShardedSet<Bat<SizeAug>, 16>;
 extern template class ShardedSet<Bat<SizeAug>, 64>;
 extern template class ShardedSet<BatDel<SizeAug>, 16>;
+extern template class ShardedSet<Bat<SizeAug>, 4,
+                                 SnapshotPolicy::kLinearizable>;
+extern template class ShardedSet<Bat<SizeAug>, 16,
+                                 SnapshotPolicy::kLinearizable>;
 
 }  // namespace cbat

@@ -33,7 +33,7 @@ TEST(ScenarioRegistry, ListsAllPaperScenarios) {
       "fig5a",  "fig5b",  "fig5c",  "fig6",
       "fig7",   "fig8",   "fig9",   "fig10",
       "table3", "shard_sweep", "shard_hotspot", "combine_sweep",
-      "micro_components", "micro_llxscx"};
+      "snapshot_consistency", "micro_components", "micro_llxscx"};
   const auto names = ScenarioRegistry::instance().names();
   // >= rather than ==: other tests may add scenarios, and gtest order is
   // not guaranteed under --gtest_shuffle.
@@ -143,6 +143,9 @@ TEST(ScenarioDispatch, JsonDocumentContainsScenarioRuns) {
     EXPECT_GE(run->at("latency_ns").at("update").at("p50").num, 0);
     EXPECT_GE(run->at("latency_ns").at("update").at("p99").num,
               run->at("latency_ns").at("update").at("p50").num);
+    // Every measured run reports its composite-query guarantee; fig5a
+    // runs single trees, which are linearizable.
+    EXPECT_EQ(run->at("consistency").str, "linearizable");
   }
 }
 

@@ -146,6 +146,57 @@ TEST(Registry, CombinedStructureNamesResolve) {
   EXPECT_EQ(std::find(cmp.begin(), cmp.end(), "Combined-BAT"), cmp.end());
 }
 
+TEST(Registry, LinearizableSnapshotVariantsResolve) {
+  auto& reg = StructureRegistry::instance();
+  for (const char* name : {"Sharded16-BAT-Lin", "Sharded16-Combined-BAT-Lin"}) {
+    EXPECT_TRUE(reg.contains(name)) << name;
+    EXPECT_TRUE(reg.is_ranked(name)) << name;
+    auto set = reg.create(name);
+    ASSERT_NE(set, nullptr) << name;
+    EXPECT_EQ(set->name(), name);
+    // Same RankedSet + key-range-hint contract as the quiescent twins.
+    EXPECT_TRUE(set->set_key_range_hint(10000)) << name;
+    EXPECT_TRUE(set->insert(5));
+    EXPECT_TRUE(set->insert(9999));
+    EXPECT_EQ(set->size(), 2);
+    EXPECT_EQ(set->rank(9999), 2);
+    EXPECT_EQ(set->select_query(1), 5);
+    EXPECT_EQ(set->range_count(0, 10000), 2);
+  }
+  // Not in the paper's comparison set.
+  const auto cmp = reg.comparison_set();
+  EXPECT_EQ(std::find(cmp.begin(), cmp.end(), "Sharded16-BAT-Lin"),
+            cmp.end());
+}
+
+TEST(Registry, ConsistencyIntrospectionPerStructure) {
+  // Single trees answer composite queries from one atomic root snapshot:
+  // linearizable, via the default.  The quiescent shard forests report
+  // the weaker guarantee; their "-Lin" twins restore the strong one.
+  const struct {
+    const char* name;
+    api::Consistency want;
+  } cases[] = {
+      {"BAT", api::Consistency::kLinearizable},
+      {"Combined-BAT", api::Consistency::kLinearizable},
+      {"ChromaticSet", api::Consistency::kQuiescentlyConsistent},
+      {"Sharded16-BAT", api::Consistency::kQuiescentlyConsistent},
+      {"Sharded16-Combined-BAT", api::Consistency::kQuiescentlyConsistent},
+      {"Sharded16-BAT-Lin", api::Consistency::kLinearizable},
+      {"Sharded16-Combined-BAT-Lin", api::Consistency::kLinearizable},
+  };
+  for (const auto& c : cases) {
+    auto set = bench::make_structure(c.name);
+    ASSERT_NE(set, nullptr) << c.name;
+    EXPECT_EQ(set->consistency(), c.want) << c.name;
+  }
+  EXPECT_STREQ(api::consistency_name(api::Consistency::kLinearizable),
+               "linearizable");
+  EXPECT_STREQ(
+      api::consistency_name(api::Consistency::kQuiescentlyConsistent),
+      "quiescently_consistent");
+}
+
 TEST(Registry, SingleTreesIgnoreKeyRangeHint) {
   auto set = bench::make_structure("BAT");
   ASSERT_NE(set, nullptr);
