@@ -173,6 +173,62 @@ def report_occupancy(base_doc, cur_doc, drop_threshold, scenarios):
     return regressions
 
 
+def indexed_hit_rate(doc, scenarios=None):
+    """Per-(scenario, series) mean of the read layer's aggregate-cache
+    hit-rate metric, restricted to `scenarios` when given.  Runs without
+    the metric (cells whose query mix never consults a cache — e.g. the
+    linearizable rank cells, whose prefix sums are refilled straight from
+    pinned roots) simply do not contribute; a series is indexed only if at
+    least one of its runs carried the metric."""
+    groups = {}
+    for sc in doc["scenarios"]:
+        if scenarios is not None and sc["name"] not in scenarios:
+            continue
+        for run in sc["runs"]:
+            rate = run.get("metrics", {}).get("agg_cache_hit_rate")
+            if rate is None:
+                continue
+            groups.setdefault((sc["name"], run["series"]), []).append(
+                float(rate))
+    return {k: sum(v) / len(v) for k, v in groups.items()}
+
+
+def report_hit_rate(base_doc, cur_doc, drop_threshold, scenarios):
+    """Surfaces aggregate-cache effectiveness next to the throughput gate.
+
+    A cache whose hit rate collapses stops contributing while the cached
+    series' throughput may still pass the (noisy) throughput gate — the
+    same failure mode the occupancy gate closes for update combining.
+    Gated on the absolute drop in hit rate: the metric is already a
+    bounded ratio, so a fractional-of-baseline gate (occupancy's shape)
+    would over-trigger near 1.0 and under-trigger near 0.  Returns the
+    regressions beyond drop_threshold (empty when the flag is unset)."""
+    base = indexed_hit_rate(base_doc, scenarios)
+    cur = indexed_hit_rate(cur_doc, scenarios)
+    # A baseline series whose metric vanished entirely (renamed series or
+    # key, metric no longer emitted) must not silently un-gate itself.
+    missing = sorted(set(base) - set(cur))
+    if missing and drop_threshold is not None:
+        fail_schema(
+            "baseline cached series carry no agg_cache_hit_rate in the "
+            "current run (renamed series or dropped metrics? refresh "
+            "bench/baselines/): "
+            + ",".join("/".join(k) for k in missing))
+    shared = sorted(set(base) & set(cur))
+    if not shared:
+        return []
+    print("compare_bench: aggregate-cache hit rate:")
+    regressions = []
+    for key in shared:
+        b, c = base[key], cur[key]
+        line = f"  {key[0]}/{key[1]}: {b:.3f} -> {c:.3f}"
+        if drop_threshold is not None and b - c > drop_threshold:
+            line += f"  REGRESSED (hit rate fell {b - c:+.2f})"
+            regressions.append((key, b, c))
+        print(line)
+    return regressions
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("baseline", nargs="?", help="baseline BENCH_*.json")
@@ -198,6 +254,12 @@ def main():
                          "(its excess over the always-present own request) "
                          "drops by more than this fraction; occupancy is "
                          "always reported either way")
+    ap.add_argument("--hit-rate-drop", type=float, default=None,
+                    metavar="ABS",
+                    help="fail if a series' aggregate-cache hit rate falls "
+                         "by more than this absolute amount below the "
+                         "baseline; hit rates are always reported either "
+                         "way")
     args = ap.parse_args()
 
     if args.check:
@@ -308,6 +370,8 @@ def main():
     # still passes, so surface (and optionally gate) it here.
     occ_regressions = report_occupancy(base_doc, cur_doc,
                                        args.occupancy_drop, gated)
+    hit_regressions = report_hit_rate(base_doc, cur_doc,
+                                      args.hit_rate_drop, gated)
 
     if regressions:
         print(f"compare_bench: FAIL — {len(regressions)} cell(s) regressed "
@@ -323,6 +387,14 @@ def main():
               f"batch occupancy:", file=sys.stderr)
         for key, b, c in occ_regressions[:20]:
             print(f"  {key[0]}/{key[1]}: {b:.2f} -> {c:.2f}",
+                  file=sys.stderr)
+        return 1
+    if hit_regressions:
+        print(f"compare_bench: FAIL — {len(hit_regressions)} series' "
+              f"aggregate-cache hit rate fell more than "
+              f"{args.hit_rate_drop:.2f} below baseline:", file=sys.stderr)
+        for key, b, c in hit_regressions[:20]:
+            print(f"  {key[0]}/{key[1]}: {b:.3f} -> {c:.3f}",
                   file=sys.stderr)
         return 1
     print("compare_bench: OK — no regression beyond threshold")

@@ -126,6 +126,17 @@ class AbstractOrderedSet {
   virtual std::int64_t rank(Key k) = 0;
   virtual Key select_query(std::int64_t i) = 0;
 
+  // Aggregate over [lo, hi] for structures whose augmentation exposes an
+  // int64 aggregate (every SizeAug structure: the aggregate IS the
+  // count).  Structures without one answer with range_count — identical
+  // for SizeAug, and the benchmarks only issue this against SizeAug
+  // structures.  Separate from range_count because the shard layer
+  // serves it through a different path (boundary descents memoized in
+  // the hot-range aggregate cache) than the rank-composed range_count.
+  virtual std::int64_t range_aggregate(Key lo, Key hi) {
+    return range_count(lo, hi);
+  }
+
   // Advisory: keys will be drawn from [0, max_key).  The benchmark driver
   // calls this before prefilling; structures without a use for it (all the
   // single trees) keep the no-op default.  Returns whether it was applied.
@@ -178,6 +189,19 @@ class SetModel final : public AbstractOrderedSet {
   Key select_query(std::int64_t i) override {
     if constexpr (RankedSet<T>) return t_.select(i).value_or(0);
     return kInf2;
+  }
+  std::int64_t range_aggregate(Key lo, Key hi) override {
+    if constexpr (requires(const T ct) {
+                    {
+                      ct.range_aggregate(lo, hi)
+                    } -> std::convertible_to<std::int64_t>;
+                  }) {
+      return t_.range_aggregate(lo, hi);
+    } else if constexpr (RankedSet<T>) {
+      return t_.range_count(lo, hi);
+    } else {
+      return 0;
+    }
   }
 
   bool set_key_range_hint(Key max_key) override {

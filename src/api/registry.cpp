@@ -52,6 +52,28 @@ static_assert(RankedSet<ShardedSet<CombinedSet<Bat<SizeAug>>, 16,
                                    SnapshotPolicy::kLinearizable>>);
 // Single trees keep the default: no hook, composite queries linearizable.
 static_assert(!ConsistencyIntrospectable<Bat<SizeAug>>);
+// The read-combined forests keep the full contract; leasing and caching
+// inherit the underlying cut's consistency, never weaken it, so the "-RC"
+// twins report exactly their policy's guarantee.
+static_assert(RankedSet<ShardedSet<CombinedSet<Bat<SizeAug>>, 16,
+                                   SnapshotPolicy::kQuiescent,
+                                   ReadPath::kCombined>>);
+static_assert(KeyRangeHintable<ShardedSet<CombinedSet<Bat<SizeAug>>, 16,
+                                          SnapshotPolicy::kQuiescent,
+                                          ReadPath::kCombined>>);
+static_assert(RankedSet<ShardedSet<CombinedSet<Bat<SizeAug>>, 16,
+                                   SnapshotPolicy::kLinearizable,
+                                   ReadPath::kCombined>>);
+static_assert(!ShardedSet<CombinedSet<Bat<SizeAug>>, 16,
+                          SnapshotPolicy::kQuiescent,
+                          ReadPath::kCombined>::composite_queries_linearizable());
+static_assert(ShardedSet<CombinedSet<Bat<SizeAug>>, 16,
+                         SnapshotPolicy::kLinearizable,
+                         ReadPath::kCombined>::composite_queries_linearizable());
+static_assert(ShardedSet<CombinedSet<Bat<SizeAug>>, 16,
+                         SnapshotPolicy::kQuiescent,
+                         ReadPath::kCombined>::read_path() ==
+              ReadPath::kCombined);
 
 namespace {
 std::mutex& registry_mutex() {
@@ -96,6 +118,16 @@ StructureRegistry::StructureRegistry() {
   register_type<
       ShardedSet<CombinedSet<Bat<SizeAug>>, 16, SnapshotPolicy::kLinearizable>>(
       "Sharded16-Combined-BAT-Lin");
+  // Read-combined forests (read_burst scenario): composite reads publish
+  // alongside updates, lease shared epoch cuts, and validate against the
+  // epoch-stamped per-shard aggregate caches.  Same write path as the
+  // non-RC twins.
+  register_type<ShardedSet<CombinedSet<Bat<SizeAug>>, 16,
+                           SnapshotPolicy::kQuiescent, ReadPath::kCombined>>(
+      "Sharded16-Combined-BAT-RC");
+  register_type<ShardedSet<CombinedSet<Bat<SizeAug>>, 16,
+                           SnapshotPolicy::kLinearizable,
+                           ReadPath::kCombined>>("Sharded16-Combined-BAT-RC-Lin");
 }
 
 void StructureRegistry::register_structure(std::string name, Entry entry) {

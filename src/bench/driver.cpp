@@ -82,6 +82,11 @@ void worker(SetAdapter& set, const RunConfig& cfg, int tid,
                              static_cast<std::int64_t>(stream.next_key()) % n);
             break;
           }
+          case QueryKind::kRangeAgg: {
+            const Key lo = stream.next_hot_range_lo();
+            set.range_aggregate(lo, lo + static_cast<Key>(w.rq_size) - 1);
+            break;
+          }
         }
         ++tt.queries;
         break;

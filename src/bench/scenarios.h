@@ -25,6 +25,12 @@ struct RunRecord {
   std::string x_label;  // "threads", "rq_size", "kernel", ...
   std::string x;        // x coordinate, as printed on the axis
   std::string series;   // structure / query kind / kernel name
+  // How composite reads were answered in this run: "direct" (every query
+  // acquires its own snapshot), "leased" (queries share combiner-acquired
+  // epoch cuts, aggregate caches off), or "cached" (leased + epoch-stamped
+  // aggregate caches).  Emitted into the schema-1 JSON so baseline diffs
+  // can attribute read-side regressions to the right layer.
+  std::string read_path = "direct";
   bool has_result = false;
   RunResult result;
   std::vector<std::pair<std::string, double>> metrics;

@@ -14,6 +14,8 @@ const char* query_kind_name(QueryKind k) {
       return "rank";
     case QueryKind::kSelect:
       return "select";
+    case QueryKind::kRangeAgg:
+      return "range_agg";
   }
   return "unknown";
 }
@@ -108,6 +110,20 @@ Key OpStream::next_range_lo() {
   const std::int64_t hi_bound =
       eff < w_.max_key ? w_.max_key - eff + 1 : std::max<Key>(w_.max_key, 1);
   return static_cast<Key>(rng_.below(static_cast<std::uint64_t>(hi_bound)));
+}
+
+Key OpStream::next_hot_range_lo() {
+  // One of kHotRanges fixed starts, evenly gridded over the valid lo
+  // interval (same clamping as next_range_lo).  Every thread derives the
+  // identical grid from the workload, so the working set is kHotRanges
+  // ranges process-wide — the regime the hot-range aggregate cache is
+  // for.  The draw among slots is uniform: all hot ranges equally hot.
+  const std::int64_t eff = std::min<std::int64_t>(w_.rq_size, w_.max_key);
+  const std::int64_t hi_bound =
+      eff < w_.max_key ? w_.max_key - eff + 1 : std::max<Key>(w_.max_key, 1);
+  const std::int64_t slot =
+      static_cast<std::int64_t>(rng_.below(kHotRanges));
+  return static_cast<Key>(slot * ((hi_bound - 1) / (kHotRanges - 1)));
 }
 
 }  // namespace cbat::bench

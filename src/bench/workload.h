@@ -14,7 +14,11 @@
 
 namespace cbat::bench {
 
-enum class QueryKind { kRange, kRank, kSelect };
+// kRange is a rank-composed range_count over uniformly drawn bounds;
+// kRangeAgg is a range_aggregate over a small fixed set of "hot" ranges
+// (the leaderboard pattern: the same few windows queried over and over),
+// which is what the shard layer's hot-range aggregate cache targets.
+enum class QueryKind { kRange, kRank, kSelect, kRangeAgg };
 
 enum class KeyDist { kUniform, kZipf, kSorted };
 
@@ -53,6 +57,13 @@ class OpStream {
   Op op_for(std::uint64_t r) const;
   Key next_key();                 // key for insert/delete/find
   Key next_range_lo();            // lower bound for a range query
+  Key next_hot_range_lo();        // lower bound drawn from kHotRanges slots
+
+  // Number of distinct range starts next_hot_range_lo() draws from; the
+  // kRangeAgg working set.  Small on purpose — the hot-range cache holds
+  // 4 entries per shard, and the pattern being modeled is a handful of
+  // dashboard windows, not a range sweep.
+  static constexpr int kHotRanges = 8;
   std::int64_t snapshot_size_hint() const { return size_hint_; }
   void set_size_hint(std::int64_t n) { size_hint_ = n; }
 

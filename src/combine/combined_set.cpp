@@ -12,5 +12,12 @@ template class ShardedSet<CombinedSet<Bat<SizeAug>>, 16>;
 // combined batches stamp exactly like solo updates.
 template class ShardedSet<CombinedSet<Bat<SizeAug>>, 16,
                           SnapshotPolicy::kLinearizable>;
+// Read-combined ("-RC") forests: composite reads lease shared epoch cuts
+// through each shard's buffer and validate against the per-shard aggregate
+// caches; unique stamps are switched on by the ShardedSet constructor.
+template class ShardedSet<CombinedSet<Bat<SizeAug>>, 16,
+                          SnapshotPolicy::kQuiescent, ReadPath::kCombined>;
+template class ShardedSet<CombinedSet<Bat<SizeAug>>, 16,
+                          SnapshotPolicy::kLinearizable, ReadPath::kCombined>;
 
 }  // namespace cbat

@@ -16,19 +16,29 @@
 // shard owns a private buffer and combining captures exactly the updates
 // that PR 3's keyspace partitioning already routes to one root.
 //
-// Queries bypass the buffer entirely — they are reads on the inner BAT's
-// version tree and keep its snapshot semantics: every query (point,
-// single-key order statistic, or composite) runs on one atomic root
-// version, so CombinedSet's whole query surface stays linearizable (see
-// docs/ARCHITECTURE.md "Consistency guarantees").  A published-but-
-// unapplied update is an in-flight operation: it is allowed to be
-// invisible until its batch's root refresh, which always happens before
-// its response — each request linearizes between publication and
-// response, exactly like a solo update.
+// Composite queries (size/rank/select/range_count/range_aggregate)
+// publish into the SAME buffer alongside updates (PR 4's deferred
+// "combining for queries"): the combiner first applies the drained
+// updates as one batch, then pins ONE root version — one epoch cut — and
+// answers the whole read burst against it.  Point queries (contains,
+// floor, ceiling) and key collection stay direct.  Every query still runs
+// on one atomic root version, so CombinedSet's whole query surface stays
+// linearizable (see docs/ARCHITECTURE.md "Consistency guarantees"): a
+// leased read linearizes at the shared cut's root pin, which lies between
+// its publication and its response, exactly like a solo read's own pin.
+// A published-but-unapplied update is an in-flight operation: it is
+// allowed to be invisible until its batch's root refresh, which always
+// happens before its response — each request linearizes between
+// publication and response, exactly like a solo update.  Read combining
+// is gated by the same knobs as update combining (set_combine_max_batch,
+// the delegation budget) plus set_lease_reads, and a read whose spin
+// budget runs out retracts and answers directly — progress never depends
+// on a combiner.
 #pragma once
 
 #include <algorithm>
 #include <atomic>
+#include <concepts>
 #include <cstdint>
 #include <optional>
 #include <thread>
@@ -36,7 +46,9 @@
 
 #include "combine/combining_buffer.h"
 #include "core/bat_tree.h"
+#include "core/version_queries.h"
 #include "shard/sharded_set.h"
+#include "util/backoff.h"
 #include "util/counters.h"
 
 namespace cbat {
@@ -65,36 +77,73 @@ class CombinedSet {
   using AugValue = typename Aug::Value;
   using V = typename Inner::V;
   using Buffer = CombiningBuffer<64>;
+  using ReadRes = typename Buffer::ReadResult;
+
+  // Composite reads ride the buffer only when they fit its wide response
+  // slot: a sized augmentation whose aggregate value is the slot's int64.
+  // Anything else keeps the direct per-query snapshot path.
+  static constexpr bool kCombineReads =
+      SizedAugmentation<Aug> && std::same_as<AugValue, std::int64_t>;
 
   // --- updates: the combining protocol ------------------------------------
 
   bool insert(Key k) { return update(k, /*is_insert=*/true); }
   bool erase(Key k) { return update(k, /*is_insert=*/false); }
 
-  // --- queries: straight reads on the inner version tree ------------------
+  // Deliberate bypass of the combining protocol: apply directly on the
+  // inner tree, which is safe under concurrent combined batches (it is
+  // the same concurrent-solo path the retract-on-timeout fallback uses).
+  // For callers that KNOW combining cannot pay — the shard layer routes
+  // updates from read-dominated threads here, where batch occupancy is ~1
+  // and the combiner lock is pure convoy (see ShardedSet::regime_update).
+  // Not counted as kCombineSolo: that counter means "timed out waiting
+  // for a combiner", and these never waited.
+  bool insert_solo(Key k) { return inner_.insert(k); }
+  bool erase_solo(Key k) { return inner_.erase(k); }
+
+  // --- queries ------------------------------------------------------------
+  //
+  // Point queries are straight reads on the inner version tree.  Composite
+  // queries publish into the combining buffer when read leasing is on
+  // (kCombineReads structures only): the combiner answers the whole burst
+  // against one pinned root, so N concurrent composite reads cost one EBR
+  // guard and one root load instead of N.
 
   bool contains(Key k) const { return inner_.contains(k); }
   std::int64_t size() const
     requires SizedAugmentation<Aug>
   {
+    if constexpr (kCombineReads) return query_op(Buffer::kSize, 0, 0).value;
     return inner_.size();
   }
   std::int64_t rank(Key k) const
     requires SizedAugmentation<Aug>
   {
+    if constexpr (kCombineReads) return query_op(Buffer::kRank, k, 0).value;
     return inner_.rank(k);
   }
   std::optional<Key> select(std::int64_t i) const
     requires SizedAugmentation<Aug>
   {
+    if constexpr (kCombineReads) {
+      const ReadRes r = query_op(Buffer::kSelect, static_cast<Key>(i), 0);
+      if (!r.ok) return std::nullopt;
+      return static_cast<Key>(r.value);
+    }
     return inner_.select(i);
   }
   std::int64_t range_count(Key lo, Key hi) const
     requires SizedAugmentation<Aug>
   {
+    if constexpr (kCombineReads) {
+      return query_op(Buffer::kRangeCount, lo, hi).value;
+    }
     return inner_.range_count(lo, hi);
   }
   AugValue range_aggregate(Key lo, Key hi) const {
+    if constexpr (kCombineReads) {
+      return query_op(Buffer::kRangeAggregate, lo, hi).value;
+    }
     return inner_.range_aggregate(lo, hi);
   }
   std::optional<Key> floor(Key k) const { return inner_.floor(k); }
@@ -107,13 +156,22 @@ class CombinedSet {
 
   // Epoch-source passthrough for the shard layer's linearizable snapshots:
   // a combined batch stamps once per root CAS, exactly like a solo update,
-  // and every response (combined or solo) is preceded by that stamp.
-  void set_epoch_source(std::atomic<std::uint64_t>* counter)
+  // and every response (combined or solo) is preceded by that stamp.  The
+  // shard layer's aggregate caches additionally request unique
+  // (fetch_add-minted) stamps — see version_epoch_unique.
+  void set_epoch_source(std::atomic<std::uint64_t>* counter,
+                        bool unique_stamps = false)
     requires requires(Inner t, std::atomic<std::uint64_t>* c) {
       t.set_epoch_source(c);
     }
   {
-    inner_.set_epoch_source(counter);
+    inner_.set_epoch_source(counter, unique_stamps);
+  }
+
+  // Spin budget forwarded from the inner tree so the shard layer's leased
+  // read path (ShardedSet lease_budget) sees one consistent knob.
+  static std::uint64_t delegation_timeout() {
+    return Inner::delegation_timeout();
   }
 
   void warm_up(std::size_t expected_updates) {
@@ -134,9 +192,7 @@ class CombinedSet {
     // Fast path: free lock — combine inline, own request rides in the
     // batch without touching a slot.
     if (buffer_.try_lock()) {
-      const bool r = run_combiner(k, is_insert, max_batch);
-      buffer_.unlock();
-      return r;
+      return run_combiner(k, is_insert, max_batch);  // unlocks internally
     }
 
     const int slot = buffer_.publish(k, is_insert);
@@ -152,7 +208,6 @@ class CombinedSet {
         // buffer ourselves (our own slot included — the response comes
         // back through it like any other).
         run_combiner_drained_only(max_batch);
-        buffer_.unlock();
         continue;
       }
       cpu_relax();
@@ -177,42 +232,58 @@ class CombinedSet {
   struct BatchScratch {
     std::vector<BatchOp> ops;
     typename Buffer::DrainedRequest reqs[Buffer::num_slots()];
+    // Drained read requests, split out of `reqs` by collect_drained;
+    // answered against one pinned root after the update batch applies.
+    typename Buffer::DrainedRequest reads[Buffer::num_slots()];
+    int num_reads = 0;
   };
   static BatchScratch& batch_scratch() {
     thread_local BatchScratch s;
     return s;
   }
 
-  // Caller holds the buffer lock.  Applies {own request} + drained
-  // requests as one sorted batch; returns the own request's result.
+  // Caller holds the buffer lock; releases it after the update batch.
+  // Applies {own request} + drained updates as one sorted batch, then
+  // answers drained reads against one pinned root — lock-free, their
+  // slots are already claimed; returns the own request's result.
   bool run_combiner(Key k, bool is_insert, int max_batch) {
     BatchScratch& s = batch_scratch();
     s.ops.clear();
+    s.num_reads = 0;
     s.ops.push_back({k, is_insert, false, /*tag=*/-1});
     collect_drained(s, max_batch - 1);
     apply_and_complete(s);
+    buffer_.unlock();
+    answer_drained_reads(s);
     for (const BatchOp& op : s.ops) {
       if (op.tag < 0) return op.result;
     }
     return false;  // unreachable: the own request is always in the batch
   }
 
-  // Caller holds the buffer lock.  A waiter that inherited the lock: its
-  // request is already published, so the batch is just the drained slots.
+  // Caller holds the buffer lock; releases it after the update batch.  A
+  // waiter that inherited the lock: its request is already published, so
+  // the batch is just the drained slots.
   void run_combiner_drained_only(int max_batch) {
     BatchScratch& s = batch_scratch();
     s.ops.clear();
+    s.num_reads = 0;
     collect_drained(s, max_batch);
-    if (s.ops.empty()) return;
-    apply_and_complete(s);
+    if (!s.ops.empty()) apply_and_complete(s);
+    buffer_.unlock();
+    answer_drained_reads(s);
   }
 
   void collect_drained(BatchScratch& s, int max) {
     const int n = buffer_.drain(
         s.reqs, std::min(max, static_cast<int>(Buffer::num_slots())));
     for (int i = 0; i < n; ++i) {
-      s.ops.push_back({s.reqs[i].key, s.reqs[i].is_insert, false,
-                       /*tag=*/s.reqs[i].slot});
+      if (s.reqs[i].op == Buffer::kUpdate) {
+        s.ops.push_back({s.reqs[i].key, s.reqs[i].is_insert, false,
+                         /*tag=*/s.reqs[i].slot});
+      } else {
+        s.reads[s.num_reads++] = s.reqs[i];
+      }
     }
   }
 
@@ -229,6 +300,141 @@ class CombinedSet {
     Counters::bump(Counter::kCombineBatchedOps, s.ops.size());
   }
 
+  // --- read leasing (kCombineReads only) ----------------------------------
+
+  // Answers drained reads against ONE pinned root — the leased cut.
+  // Ordering: called after apply_and_complete, so a read drained together
+  // with updates observes them; each read linearizes at this root pin,
+  // which lies between its publication and its response.
+  void answer_drained_reads(BatchScratch& s) {
+    if constexpr (kCombineReads) {
+      if (s.num_reads == 0) return;
+      EbrGuard g;
+      const V* r = inner_.root_version_unsafe();
+      for (int i = 0; i < s.num_reads; ++i) {
+        buffer_.complete_read(
+            s.reads[i].slot,
+            answer_on(r, s.reads[i].op, s.reads[i].key, s.reads[i].b));
+      }
+      Counters::bump(Counter::kLeaseCuts);
+      Counters::bump(Counter::kLeaseBatchedReads,
+                     static_cast<std::uint64_t>(s.num_reads));
+    }
+  }
+
+  // Composite-read analogue of update(): combine inline on a free lock,
+  // else publish and spin with the same inherit-the-lock / retract-on-
+  // timeout protocol.  Logically const — the set is unchanged — but a
+  // combiner pass may apply *other threads'* published updates on their
+  // behalf, hence the const_cast into the internally synchronized core.
+  ReadRes query_op(typename Buffer::Op op, Key a, Key b) const
+    requires kCombineReads
+  {
+    return const_cast<CombinedSet*>(this)->query_op_mut(op, a, b);
+  }
+
+  ReadRes query_op_mut(typename Buffer::Op op, Key a, Key b)
+    requires kCombineReads
+  {
+    const std::uint64_t budget = Inner::delegation_timeout();
+    const int max_batch = combine_max_batch();
+    if (!lease_reads_enabled() || budget == 0 || max_batch <= 1) {
+      return direct_query(op, a, b);
+    }
+
+    // Lease elision: no published requests means no burst to share a root
+    // pin with (and no stranded updates to help), so answer on an own pin
+    // without touching the lock.  See CombiningBuffer::has_pending for
+    // why a racing publisher is only delayed, never stuck.
+    if (!buffer_.has_pending()) return direct_query(op, a, b);
+
+    if (buffer_.try_lock()) {
+      return run_query_combiner(op, a, b, max_batch);  // unlocks internally
+    }
+
+    const int slot = buffer_.publish_read(op, a, b);
+    if (slot < 0) return direct_query(op, a, b);  // buffer full: shed load
+
+    std::uint64_t spins = 0;
+    bool may_time_out = true;
+    while (true) {
+      const auto st = buffer_.slot_state(slot);
+      if (st == Buffer::kDone) return buffer_.take_read_result(slot);
+      if (st == Buffer::kPending && buffer_.try_lock()) {
+        run_combiner_drained_only(max_batch);
+        continue;
+      }
+      cpu_relax();
+      if ((++spins & 63) == 0) std::this_thread::yield();
+      if (may_time_out && spins > budget) {
+        if (buffer_.try_retract(slot)) {
+          Counters::bump(Counter::kCombineTimeouts);
+          return direct_query(op, a, b);
+        }
+        may_time_out = false;
+      }
+    }
+  }
+
+  // Caller holds the buffer lock; releases it after any drained update
+  // batch.  Then pins one root and answers the drained reads plus the own
+  // request against it, lock-free.
+  ReadRes run_query_combiner(typename Buffer::Op op, Key a, Key b,
+                             int max_batch)
+    requires kCombineReads
+  {
+    BatchScratch& s = batch_scratch();
+    s.ops.clear();
+    s.num_reads = 0;
+    collect_drained(s, max_batch - 1);
+    if (!s.ops.empty()) apply_and_complete(s);
+    buffer_.unlock();
+    EbrGuard g;
+    const V* r = inner_.root_version_unsafe();
+    for (int i = 0; i < s.num_reads; ++i) {
+      buffer_.complete_read(
+          s.reads[i].slot,
+          answer_on(r, s.reads[i].op, s.reads[i].key, s.reads[i].b));
+    }
+    Counters::bump(Counter::kLeaseCuts);
+    Counters::bump(Counter::kLeaseBatchedReads,
+                   static_cast<std::uint64_t>(s.num_reads) + 1);
+    return answer_on(r, op, a, b);
+  }
+
+  ReadRes direct_query(typename Buffer::Op op, Key a, Key b)
+    requires kCombineReads
+  {
+    Counters::bump(Counter::kLeaseSoloReads);
+    EbrGuard g;
+    return answer_on(inner_.root_version_unsafe(), op, a, b);
+  }
+
+  // One pinned root answers any composite op; caller holds an EBR guard
+  // covering `r`.
+  static ReadRes answer_on(const V* r, typename Buffer::Op op, Key a, Key b)
+    requires kCombineReads
+  {
+    switch (op) {
+      case Buffer::kSize:
+        return {version_size<Aug>(r), true};
+      case Buffer::kRank:
+        return {version_rank<Aug>(r, a), true};
+      case Buffer::kSelect: {
+        const std::optional<Key> k =
+            version_select<Aug>(r, static_cast<std::int64_t>(a));
+        return {k ? static_cast<std::int64_t>(*k) : 0, k.has_value()};
+      }
+      case Buffer::kRangeCount:
+        return {version_range_count<Aug>(r, a, b), true};
+      case Buffer::kRangeAggregate:
+        return {version_range_aggregate<Aug>(r, a, b), true};
+      case Buffer::kUpdate:
+        break;  // never published through the read path
+    }
+    return {0, false};
+  }
+
   Inner inner_;
   Buffer buffer_;
 };
@@ -239,5 +445,13 @@ extern template class CombinedSet<Bat<SizeAug>>;
 extern template class ShardedSet<CombinedSet<Bat<SizeAug>>, 16>;
 extern template class ShardedSet<CombinedSet<Bat<SizeAug>>, 16,
                                  SnapshotPolicy::kLinearizable>;
+// The "-RC" read-combined forests: leased epoch cuts + epoch-stamped
+// aggregate caches on top of the combined shards.
+extern template class ShardedSet<CombinedSet<Bat<SizeAug>>, 16,
+                                 SnapshotPolicy::kQuiescent,
+                                 ReadPath::kCombined>;
+extern template class ShardedSet<CombinedSet<Bat<SizeAug>>, 16,
+                                 SnapshotPolicy::kLinearizable,
+                                 ReadPath::kCombined>;
 
 }  // namespace cbat

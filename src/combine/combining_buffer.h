@@ -1,13 +1,24 @@
-// Flat-combining publication buffer (ROADMAP: shard-aware batching).
+// Flat-combining publication buffer (ROADMAP: shard-aware batching +
+// read-side scaling).
 //
 // A fixed, cache-line-padded array of request slots plus a combiner lock.
-// Threads that find the lock busy publish their update into a free slot
+// Threads that find the lock busy publish their request into a free slot
 // and spin on that slot alone; whichever thread holds the lock drains
-// every published request, applies the whole batch through one bulk tree
-// operation (BatTree::apply_batch), and writes each result back into its
-// slot.  One combiner pass pays one EBR guard, one shared descent prefix,
-// and one top-level root CAS for N updates — the costs the paper's
-// delegation schemes cannot amortize across *distinct* keys.
+// every published request, applies the whole batch, and writes each result
+// back into its slot.  For updates one combiner pass pays one EBR guard,
+// one shared descent prefix, and one top-level root CAS for N inserts and
+// erases (BatTree::apply_batch) — the costs the paper's delegation schemes
+// cannot amortize across *distinct* keys.
+//
+// Slots carry either an update ({key, is_insert} -> bool) or a read-only
+// composite op ({op, a, b} -> {int64 value, bool ok}): size, rank, select,
+// range_count, or range_aggregate.  A combiner that drains reads acquires
+// ONE pinned snapshot (an epoch cut at the shard layer, a pinned root at
+// the tree layer) and answers the whole read burst against it — snapshot
+// leasing, the read-side analogue of batched Propagate.  The publication
+// protocol, combiner election, and retract-on-timeout machinery below are
+// shared verbatim by both request classes; only the payload and the
+// response width differ.
 //
 // Per-slot request/response protocol (state machine, one atomic word):
 //
@@ -28,8 +39,9 @@
 // updates), so a stalled combiner delays at most the requests it already
 // claimed.
 //
-// Thread-safety contract.  Publisher-side calls (publish, slot_state,
-// try_retract, take_result) are safe from any thread at any time; a
+// Thread-safety contract.  Publisher-side calls (publish, publish_read,
+// slot_state, try_retract, take_result, take_read_result) are safe from
+// any thread at any time; a
 // publisher may only retract/consume the slot index its own publish
 // returned.  Combiner-side calls (drain, complete, and reads through the
 // drain cursor) require holding the buffer lock (try_lock/unlock); the
@@ -67,6 +79,22 @@ inline void set_combine_max_batch(int n) {
   combine_max_batch_slot().store(n, std::memory_order_relaxed);
 }
 
+// Process-wide switch for publish-based query combining (CombinedSet's
+// composite reads and the shard layer's leased epoch cuts).  Off, every
+// composite read runs direct on its own snapshot; semantics are identical
+// either way — the knob exists so the read_burst benchmark can attribute
+// the leasing win separately from the aggregate caches.
+inline std::atomic<bool>& lease_reads_slot() {
+  static std::atomic<bool> v{true};
+  return v;
+}
+inline bool lease_reads_enabled() {
+  return lease_reads_slot().load(std::memory_order_relaxed);
+}
+inline void set_lease_reads(bool on) {
+  lease_reads_slot().store(on, std::memory_order_relaxed);
+}
+
 template <int NumSlots = 64>
 class CombiningBuffer {
   static_assert(NumSlots >= 1);
@@ -80,9 +108,31 @@ class CombiningBuffer {
     kDone = 4,
   };
 
+  // What a slot asks for.  kUpdate is the original insert/erase request
+  // (disambiguated by is_insert); the rest are the read-only composite
+  // ops.  Operand use: rank(a), select(a), range_count(a, b),
+  // range_aggregate(a, b); size ignores both.
+  enum Op : std::uint8_t {
+    kUpdate = 0,
+    kSize,
+    kRank,
+    kSelect,
+    kRangeCount,
+    kRangeAggregate,
+  };
+
+  // Wide response for read ops: `ok` is the engaged bit for optional
+  // answers (select past the end) and always true for the counting ops.
+  struct ReadResult {
+    std::int64_t value;
+    bool ok;
+  };
+
   struct DrainedRequest {
     int slot;
-    Key key;
+    Op op;
+    Key key;  // update key; read operand `a`
+    Key b;    // read operand `b` (range hi); unused otherwise
     bool is_insert;
   };
 
@@ -96,30 +146,19 @@ class CombiningBuffer {
 
   // --- publisher side -----------------------------------------------------
 
-  // Claims a free slot and publishes (key, is_insert).  Returns the slot
-  // index, or -1 if the buffer is full (caller goes solo).  Probing starts
-  // at a per-thread offset so concurrent publishers do not fight over
-  // slot 0.
+  // Claims a free slot and publishes an update (key, is_insert).  Returns
+  // the slot index, or -1 if the buffer is full (caller goes solo).
+  // Probing starts at a per-thread offset so concurrent publishers do not
+  // fight over slot 0.
   int publish(Key key, bool is_insert) {
-    const int start = ThreadRegistry::thread_id() % NumSlots;
-    for (int i = 0; i < NumSlots; ++i) {
-      Slot& s = *slots_[(start + i) % NumSlots];
-      std::uint32_t expected = kEmpty;
-      if (s.state.load(std::memory_order_relaxed) == kEmpty &&
-          s.state.compare_exchange_strong(expected, kWriting,
-                                          std::memory_order_acquire,
-                                          std::memory_order_relaxed)) {
-        // Count the request before it becomes visible: a kPending slot
-        // always has a nonzero count, so drain's empty-buffer short
-        // circuit can only over-see, never miss, a published request.
-        in_flight_->fetch_add(1, std::memory_order_relaxed);
-        s.key = key;
-        s.is_insert = is_insert;
-        s.state.store(kPending, std::memory_order_release);
-        return (start + i) % NumSlots;
-      }
-    }
-    return -1;
+    return publish_request(kUpdate, key, 0, is_insert);
+  }
+
+  // Publishes a read-only composite op; same protocol and return contract
+  // as publish().  The caller's fallback on -1 (and on retract timeout) is
+  // a direct read instead of a solo update.
+  int publish_read(Op op, Key a, Key b) {
+    return publish_request(op, a, b, false);
   }
 
   std::uint32_t slot_state(int slot) const {
@@ -143,6 +182,15 @@ class CombiningBuffer {
   bool take_result(int slot) {
     Slot& s = *slots_[slot];
     const bool r = s.result;
+    s.state.store(kEmpty, std::memory_order_release);
+    in_flight_->fetch_sub(1, std::memory_order_relaxed);
+    return r;
+  }
+
+  // Read-op counterpart of take_result.
+  ReadResult take_read_result(int slot) {
+    Slot& s = *slots_[slot];
+    const ReadResult r{s.value, s.ok};
     s.state.store(kEmpty, std::memory_order_release);
     in_flight_->fetch_sub(1, std::memory_order_relaxed);
     return r;
@@ -181,13 +229,13 @@ class CombiningBuffer {
           s.state.compare_exchange_strong(expected, kTaken,
                                           std::memory_order_acquire,
                                           std::memory_order_relaxed)) {
-        out[n++] = {idx, s.key, s.is_insert};
+        out[n++] = {idx, s.op, s.key, s.b, s.is_insert};
       }
     }
     return n;
   }
 
-  // Writes the response of a claimed request and hands the slot back to
+  // Writes the response of a claimed update and hands the slot back to
   // its publisher.
   void complete(int slot, bool result) {
     Slot& s = *slots_[slot];
@@ -195,14 +243,62 @@ class CombiningBuffer {
     s.state.store(kDone, std::memory_order_release);
   }
 
+  // Read-op counterpart of complete.
+  void complete_read(int slot, ReadResult r) {
+    Slot& s = *slots_[slot];
+    s.value = r.value;
+    s.ok = r.ok;
+    s.state.store(kDone, std::memory_order_release);
+  }
+
   static constexpr int num_slots() { return NumSlots; }
 
+  // True when some request is published (or claimed and not yet consumed)
+  // — the gate for lease elision: a would-be combiner that sees no burst
+  // answers on its own snapshot without touching the lock at all.  Same
+  // sequencing argument as drain's empty short circuit: a publisher this
+  // load races is only delayed (it elects itself or times out), never
+  // stranded.
+  bool has_pending() const {
+    return in_flight_->load(std::memory_order_acquire) != 0;
+  }
+
  private:
+  int publish_request(Op op, Key a, Key b, bool is_insert) {
+    const int start = ThreadRegistry::thread_id() % NumSlots;
+    for (int i = 0; i < NumSlots; ++i) {
+      Slot& s = *slots_[(start + i) % NumSlots];
+      std::uint32_t expected = kEmpty;
+      if (s.state.load(std::memory_order_relaxed) == kEmpty &&
+          s.state.compare_exchange_strong(expected, kWriting,
+                                          std::memory_order_acquire,
+                                          std::memory_order_relaxed)) {
+        // Count the request before it becomes visible: a kPending slot
+        // always has a nonzero count, so drain's empty-buffer short
+        // circuit can only over-see, never miss, a published request.
+        in_flight_->fetch_add(1, std::memory_order_relaxed);
+        s.op = op;
+        s.key = a;
+        s.b = b;
+        s.is_insert = is_insert;
+        s.state.store(kPending, std::memory_order_release);
+        return (start + i) % NumSlots;
+      }
+    }
+    return -1;
+  }
+
   struct Slot {
     std::atomic<std::uint32_t> state{kEmpty};
+    Op op = kUpdate;
     Key key = 0;
+    Key b = 0;
     bool is_insert = false;
+    // Response: `result` answers updates, {value, ok} answers reads.  The
+    // state machine's acquire/release edges on `state` cover all of them.
     bool result = false;
+    std::int64_t value = 0;
+    bool ok = false;
   };
 
   // Combiner election plus the drain cursor; `next_scan` is read and

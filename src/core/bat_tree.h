@@ -299,8 +299,18 @@ class BatTree {
   // update's stamp is always assigned no later than its response, and
   // stamps are monotone along every root's prev_root chain.  Null (the
   // default) disables stamping; standalone trees pay only a dead branch.
-  void set_epoch_source(std::atomic<std::uint64_t>* counter) {
+  //
+  // `unique_stamps` switches stamp finalization from a counter load to a
+  // fetch_add (version_epoch_unique), guaranteeing no two root versions
+  // ever share a stamp.  Forests that validate epoch-stamped aggregate
+  // caches by stamp comparison (ReadPath::kCombined; see
+  // src/shard/aggregate_cache.h) require it; everyone else keeps the
+  // cheaper load-based stamps.  The mode must match the resolve walk the
+  // snapshot layer uses (version_resolve_epoch vs ..._unique).
+  void set_epoch_source(std::atomic<std::uint64_t>* counter,
+                        bool unique_stamps = false) {
     epoch_source_ = counter;
+    unique_epoch_stamps_ = unique_stamps;
   }
 
   // Spin budget a delegating Propagate waits before resuming on its own
@@ -407,7 +417,7 @@ class BatTree {
     // Epoch discipline: a root version must carry its final stamp before a
     // successor replaces it (keeps prev_root chains stamp-monotone and
     // lets snapshot walks stop at the first stamp <= their epoch).
-    if (stamped_root) version_epoch<Aug>(old, *epoch_source_);
+    if (stamped_root) stamp_epoch(old);
     Node* xl;
     do {
       xl = x->child[0].load(std::memory_order_acquire);
@@ -426,7 +436,7 @@ class BatTree {
     if (x->version.compare_exchange_strong(expected, nv,
                                            std::memory_order_acq_rel,
                                            std::memory_order_acquire)) {
-      if (stamped_root) version_epoch<Aug>(nv, *epoch_source_);
+      if (stamped_root) stamp_epoch(nv);
       r.success = true;
       r.old = old;
       return r;
@@ -500,7 +510,7 @@ class BatTree {
     // dereferences a prev_root only while stamps read above its epoch, so
     // a superseded root may be retired only once the head is stamped.
     if (epoch_source_ != nullptr) {
-      version_epoch<Aug>(root_version(), *epoch_source_);
+      stamp_epoch(root_version());
     }
     if (ps != nullptr) {
       ps->done.store(true, std::memory_order_release);
@@ -586,7 +596,7 @@ class BatTree {
     // covering root's stamp before the batch reports and before any
     // superseded root is retired.
     if (epoch_source_ != nullptr) {
-      version_epoch<Aug>(root_version(), *epoch_source_);
+      stamp_epoch(root_version());
     }
     for (V* v : s.to_retire) pool_retire(v);
   }
@@ -680,11 +690,19 @@ class BatTree {
     return true;
   }
 
+  // Finalizes a root version's stamp in the mode the attached source
+  // selected (see set_epoch_source).  Caller has checked epoch_source_.
+  std::uint64_t stamp_epoch(const V* v) const {
+    return unique_epoch_stamps_ ? version_epoch_unique<Aug>(v, *epoch_source_)
+                                : version_epoch<Aug>(v, *epoch_source_);
+  }
+
   static inline std::uint64_t delegation_timeout_spins_ = 1u << 16;
 
   // Global epoch counter for root stamping; null (default) disables it.
   // Set once, before the tree sees concurrent updates (see the setter).
   std::atomic<std::uint64_t>* epoch_source_ = nullptr;
+  bool unique_epoch_stamps_ = false;
 
   ChromaticTree<detail::BatVersionPolicy<Aug>> tree_;
 };

@@ -79,6 +79,39 @@ std::uint64_t version_epoch(const Version<Aug>* v,
   return s;
 }
 
+// Unique-stamp finalize: like version_epoch, but draws the stamp from a
+// fetch_add on the counter, so no two versions ever carry the same stamp
+// (losing helpers waste a counter value — a gap, never a duplicate).  This
+// is what makes stamp-compare validation sound for the aggregate caches
+// (src/shard/aggregate_cache.h): with load-based stamps two roots installed
+// between counter advances share a value, and a cache keyed on the stamp
+// alone could serve one root's aggregate for the other.  The linearizable-
+// snapshot invariant is preserved: a stamp assigned before an acquisition's
+// fetch_add is <= the epoch that fetch_add returns (the stamp's own
+// fetch_add already advanced the counter past it), and a stamp assigned
+// after it is strictly greater.  Every stamper of a given forest must use
+// the same mode — BatTree::set_epoch_source carries the choice.
+template <Augmentation Aug>
+std::uint64_t version_epoch_unique(const Version<Aug>* v,
+                                   std::atomic<std::uint64_t>& counter) {
+  std::uint64_t s = v->epoch.load(std::memory_order_acquire);
+  if (s != kEpochTbd) return s;
+  const std::uint64_t now = counter.fetch_add(1, std::memory_order_seq_cst) + 1;
+  if (v->epoch.compare_exchange_strong(s, now, std::memory_order_acq_rel,
+                                       std::memory_order_acquire)) {
+    return now;
+  }
+  return s;
+}
+
+// Introspection: the stamp as currently assigned, without helping to
+// finalize it (kEpochTbd while unassigned).  Tests and diagnostics only —
+// a reader that needs a *final* stamp must use version_epoch[_unique].
+template <Augmentation Aug>
+std::uint64_t version_epoch_peek(const Version<Aug>* v) {
+  return v->epoch.load(std::memory_order_acquire);
+}
+
 // Resolves a root version against snapshot epoch `e`: walks the root
 // history backward to the newest root stamped at or before `e`, helping to
 // finalize unassigned stamps on the way.  Safe under an EBR guard taken
@@ -91,6 +124,19 @@ const Version<Aug>* version_resolve_epoch(
     const Version<Aug>* v, std::uint64_t e,
     const std::atomic<std::uint64_t>& counter) {
   while (v->prev_root != nullptr && version_epoch(v, counter) > e) {
+    v = v->prev_root;
+  }
+  return v;
+}
+
+// version_resolve_epoch for unique-stamp forests: identical walk, but any
+// helping along the way must mint unique stamps too (a load-mode helper
+// inside a unique forest could duplicate a fetch_add-minted stamp).
+template <Augmentation Aug>
+const Version<Aug>* version_resolve_epoch_unique(
+    const Version<Aug>* v, std::uint64_t e,
+    std::atomic<std::uint64_t>& counter) {
+  while (v->prev_root != nullptr && version_epoch_unique(v, counter) > e) {
     v = v->prev_root;
   }
   return v;

@@ -1,0 +1,191 @@
+// AggregateCache — epoch-stamped per-shard aggregate memoization
+// (ROADMAP: read-side scaling; Sela & Petrank's concurrent aggregate
+// queries are the grounding for both halves of the read layer).
+//
+// A ShardedSet snapshot answers composite queries by combining per-shard
+// aggregates: shard sizes for the rank/select prefix sums, partial
+// range_aggregate answers for the boundary shards of a range.  Those
+// per-shard answers are pure functions of the shard's pinned root version,
+// and PR 5's epoch stamps give every root an identity the caches can key
+// on: an aggregate computed from a root stamped `e` is valid exactly while
+// the pinned root's stamp is still `e`.  The cache therefore stores
+// (stamp, value) pairs and validates by stamp comparison — invalidation is
+// free, performed by the very counter the roots already carry.
+//
+// Soundness requires stamps to be *unique* per root: with the default
+// load-based stamping two roots installed between counter advances share a
+// stamp, and the cache could serve one root's aggregate for the other
+// (under a quiescent forest the counter never advances at all, so every
+// root would share stamp 1).  Forests that enable the cache switch their
+// shards to fetch_add-minted stamps (version_epoch_unique; see
+// BatTree::set_epoch_source) — ShardedSet does this for
+// ReadPath::kCombined.
+//
+// Entry protocol: a seqlock per entry (even seq = stable, odd = writer in
+// place), all payload words individually atomic so the fast path is
+// data-race-free under TSan.  Readers accept a value only if the sequence
+// word is even and unchanged across the payload reads AND the stored stamp
+// equals the stamp of the root the *caller* has pinned — a concurrent
+// root CAS re-stamps the shard, the stamps mismatch, and the stale entry
+// is simply recomputed (see the stale-cache interleaving test in
+// tests/linearizability_test.cpp).  Writers claim the entry with one CAS
+// and never block; a lost claim skips the fill (best effort — the caller
+// already holds the freshly computed value).
+//
+// Layout: the size entries are deliberately PACKED — all NumShards of
+// them in one padded block — because the hot consumer (the snapshot's
+// prefix-sum materialization) reads every one of them back to back, and a
+// cache-line-per-entry layout would touch NumShards lines where the
+// packed row touches NumShards/2.  Size entries are refilled only when a
+// shard's root moved, so write-side false sharing inside the row is rare
+// by construction in the read-heavy regime the cache targets.  The range
+// rows keep a line per shard: their refills are per-query on cold
+// ranges, frequent enough to keep off each other's lines.
+//
+// The cache itself counts nothing: lookups are hot-path (16 per prefix
+// materialization), so hit/miss accounting is the caller's job, batched —
+// ShardedSet::Snapshot tallies locally and flushes kAggCacheHits/
+// kAggCacheMisses once, at destruction.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "core/version.h"
+#include "util/keys.h"
+#include "util/padded.h"
+
+namespace cbat {
+
+// Process-wide switch for the stamp-validated aggregate caches, mirroring
+// set_combine_max_batch / set_lease_reads: the read_burst benchmark turns
+// it off to measure the leased-but-uncached series.  Off, every lookup
+// misses (and is not counted), so the cached structures degrade to plain
+// snapshot reads with identical semantics.
+inline std::atomic<bool>& aggregate_cache_slot() {
+  static std::atomic<bool> v{true};
+  return v;
+}
+inline bool aggregate_cache_enabled() {
+  return aggregate_cache_slot().load(std::memory_order_relaxed);
+}
+inline void set_aggregate_cache(bool on) {
+  aggregate_cache_slot().store(on, std::memory_order_relaxed);
+}
+
+template <int NumShards>
+class AggregateCache {
+  static_assert(NumShards >= 1);
+
+ public:
+  // Range entries per shard; direct-mapped by a hash of (lo, hi).  Small
+  // on purpose: the target is the handful of hot ranges a leaderboard
+  // serves repeatedly, not a general result cache.
+  static constexpr int kRangeWays = 4;
+
+  // --- per-shard size (the rank/select prefix-sum inputs) -----------------
+
+  bool load_size(int s, std::uint64_t stamp, std::int64_t* out) const {
+    const SizeEntry& e = sizes_->e[s];
+    const std::uint64_t s1 = e.seq.load(std::memory_order_acquire);
+    if (s1 & 1) return false;
+    const std::uint64_t st = e.stamp.load(std::memory_order_relaxed);
+    const std::int64_t v = e.value.load(std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (e.seq.load(std::memory_order_relaxed) != s1) return false;
+    if (st != stamp || st == kEpochTbd) return false;
+    *out = v;
+    return true;
+  }
+  void store_size(int s, std::uint64_t stamp, std::int64_t v) const {
+    SizeEntry& e = sizes_->e[s];
+    std::uint64_t seq = e.seq.load(std::memory_order_relaxed);
+    if (seq & 1) return;  // another writer is filling; ours is best effort
+    if (!e.seq.compare_exchange_strong(seq, seq + 1,
+                                       std::memory_order_relaxed,
+                                       std::memory_order_relaxed)) {
+      return;
+    }
+    std::atomic_thread_fence(std::memory_order_release);
+    e.stamp.store(stamp, std::memory_order_relaxed);
+    e.value.store(v, std::memory_order_relaxed);
+    e.seq.store(seq + 2, std::memory_order_release);
+  }
+
+  // --- per-shard range_aggregate results ----------------------------------
+
+  bool load_range(int s, Key lo, Key hi, std::uint64_t stamp,
+                  std::int64_t* out) const {
+    const RangeEntry& e = ranges_[s]->e[range_way(lo, hi)];
+    const std::uint64_t s1 = e.seq.load(std::memory_order_acquire);
+    if (s1 & 1) return false;
+    const std::uint64_t st = e.stamp.load(std::memory_order_relaxed);
+    const Key elo = e.lo.load(std::memory_order_relaxed);
+    const Key ehi = e.hi.load(std::memory_order_relaxed);
+    const std::int64_t v = e.value.load(std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (e.seq.load(std::memory_order_relaxed) != s1) return false;
+    if (st != stamp || st == kEpochTbd || elo != lo || ehi != hi) {
+      return false;
+    }
+    *out = v;
+    return true;
+  }
+  void store_range(int s, Key lo, Key hi, std::uint64_t stamp,
+                   std::int64_t v) const {
+    RangeEntry& e = ranges_[s]->e[range_way(lo, hi)];
+    std::uint64_t seq = e.seq.load(std::memory_order_relaxed);
+    if (seq & 1) return;
+    if (!e.seq.compare_exchange_strong(seq, seq + 1,
+                                       std::memory_order_relaxed,
+                                       std::memory_order_relaxed)) {
+      return;
+    }
+    std::atomic_thread_fence(std::memory_order_release);
+    e.stamp.store(stamp, std::memory_order_relaxed);
+    e.lo.store(lo, std::memory_order_relaxed);
+    e.hi.store(hi, std::memory_order_relaxed);
+    e.value.store(v, std::memory_order_relaxed);
+    e.seq.store(seq + 2, std::memory_order_release);
+  }
+
+ private:
+  // Seqlock field order mirrors the read/write protocol above: the
+  // acquire fence in a reader pairs with the writer's release fence, so a
+  // reader that observed any payload word of an in-progress or newer
+  // write is guaranteed to observe the bumped sequence word and reject.
+  struct SizeEntry {
+    std::atomic<std::uint64_t> seq{0};  // even = stable, odd = writing
+    std::atomic<std::uint64_t> stamp{kEpochTbd};
+    std::atomic<std::int64_t> value{0};
+  };
+  struct RangeEntry {
+    std::atomic<std::uint64_t> seq{0};
+    std::atomic<std::uint64_t> stamp{kEpochTbd};
+    std::atomic<Key> lo{0};
+    std::atomic<Key> hi{0};
+    std::atomic<std::int64_t> value{0};
+  };
+  struct SizeRow {
+    SizeEntry e[NumShards];
+  };
+  struct RangeRow {
+    RangeEntry e[kRangeWays];
+  };
+
+  static int range_way(Key lo, Key hi) {
+    // Fibonacci-style mix of both bounds; any deterministic spread works,
+    // collisions only cost a miss on the colder range.
+    const std::uint64_t h =
+        (static_cast<std::uint64_t>(lo) * 0x9E3779B97F4A7C15ull) ^
+        (static_cast<std::uint64_t>(hi) * 0xC2B2AE3D27D4EB4Full);
+    return static_cast<int>((h >> 59) % kRangeWays);
+  }
+
+  // mutable-through-const on purpose: the cache is memoization state
+  // filled from const composite queries, not observable set state.
+  mutable Padded<SizeRow> sizes_;
+  mutable Padded<RangeRow> ranges_[NumShards];
+};
+
+}  // namespace cbat

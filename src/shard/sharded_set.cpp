@@ -36,5 +36,11 @@ template class ShardedSet<BatDel<SizeAug>, 16>;
 // test-only, the 16-shard one is registered as "Sharded16-BAT-Lin").
 template class ShardedSet<Bat<SizeAug>, 4, SnapshotPolicy::kLinearizable>;
 template class ShardedSet<Bat<SizeAug>, 16, SnapshotPolicy::kLinearizable>;
+// Read-combined variants over plain BAT shards (test-only; the registry's
+// "-RC" forests wrap CombinedSet shards, see combine/combined_set.cpp).
+template class ShardedSet<Bat<SizeAug>, 4, SnapshotPolicy::kQuiescent,
+                          ReadPath::kCombined>;
+template class ShardedSet<Bat<SizeAug>, 4, SnapshotPolicy::kLinearizable,
+                          ReadPath::kCombined>;
 
 }  // namespace cbat

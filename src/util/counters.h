@@ -35,6 +35,16 @@ enum class Counter : int {
   kCombineBatchedOps,
   kCombineSolo,
   kCombineTimeouts,
+  // Read-side layer (src/shard/aggregate_cache.h + snapshot leasing):
+  // per-shard aggregate-cache lookups that validated against the pinned
+  // root's stamp (hit) or had to recompute (miss); leased cuts acquired by
+  // read combiners, total composite reads answered from leased cuts, and
+  // composite reads that ran direct (lease off, buffer full, or timeout).
+  kAggCacheHits,
+  kAggCacheMisses,
+  kLeaseCuts,
+  kLeaseBatchedReads,
+  kLeaseSoloReads,
   kNumCounters
 };
 

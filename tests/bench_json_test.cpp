@@ -284,6 +284,16 @@ TEST(BenchJsonSchema, DocumentRoundTrips) {
   rec.metrics = {{"cas_per_prop", 22.2}};
   out.runs.push_back(rec);
 
+  // Second run: the read-combined fields ISSUE 6 added — a non-default
+  // read_path, the hot-range query kind, and the cache hit-rate metric
+  // compare_bench.py gates on.
+  RunRecord rc = rec;
+  rc.series = "Sharded16-Combined-BAT-RC/cached";
+  rc.read_path = "cached";
+  rc.result.config.workload.query_kind = QueryKind::kRangeAgg;
+  rc.metrics = {{"agg_cache_hit_rate", 0.97}, {"lease_shared_pct", 41.5}};
+  out.runs.push_back(rc);
+
   char fake_argv0[] = "test";
   char smoke[] = "--smoke";
   char* argv[] = {fake_argv0, smoke};
@@ -316,6 +326,15 @@ TEST(BenchJsonSchema, DocumentRoundTrips) {
   EXPECT_DOUBLE_EQ(lat.at("query").at("p90").num, 9000);
   EXPECT_DOUBLE_EQ(lat.at("find").at("count").num, 0);
   EXPECT_DOUBLE_EQ(run.at("metrics").at("cas_per_prop").num, 22.2);
+  // Every run carries a read_path; the default is "direct".
+  EXPECT_EQ(run.at("read_path").str, "direct");
+
+  const Value& rcr = sc.at("runs").item(1);
+  EXPECT_EQ(rcr.at("series").str, "Sharded16-Combined-BAT-RC/cached");
+  EXPECT_EQ(rcr.at("read_path").str, "cached");
+  EXPECT_EQ(rcr.at("config").at("query_kind").str, "range_agg");
+  EXPECT_DOUBLE_EQ(rcr.at("metrics").at("agg_cache_hit_rate").num, 0.97);
+  EXPECT_DOUBLE_EQ(rcr.at("metrics").at("lease_shared_pct").num, 41.5);
 }
 
 }  // namespace

@@ -389,5 +389,161 @@ TEST(CrossShardLinearizability, ConcurrentCombinedTwoWriterHistoryLinearizes) {
   }
 }
 
+// --- stale cache races a root CAS (ISSUE 6: epoch-stamped caches) ---------
+
+// The aggregate caches accept an entry only when its stored stamp equals
+// the stamp of the root the *caller* has pinned (aggregate_cache.h).  The
+// deterministic tests below construct the exact interleaving that check
+// exists for — a cache fill racing a root CAS — and fail if the stamp
+// validation is removed (make load_size/load_range ignore `stamp` and
+// both turn red).
+
+using QuiescentRC4 =
+    ShardedSet<Bat<SizeAug>, 4, SnapshotPolicy::kQuiescent,
+               ReadPath::kCombined>;
+using LinRC4 = ShardedSet<Bat<SizeAug>, 4, SnapshotPolicy::kLinearizable,
+                          ReadPath::kCombined>;
+
+// Range cache: a snapshot pins shard 0's root, an update CASes that root
+// mid-acquisition, and the snapshot then answers (correctly, on its old
+// cut) and MEMOIZES that answer under the old root's stamp — a stale
+// entry written into the cache after the root has already moved.  A
+// fresh query, whose pinned root carries the new fetch_add-minted stamp,
+// probes the same entry and must reject it: with the stamp check gone it
+// would serve the pre-update aggregate.
+TEST(StaleAggregateCache, RangeEntryOutlivedByRootCas) {
+  constexpr Key kLo = 100, kHi = 900;  // inside shard 0 (width 1000)
+  LinRC4 set(kKeyspace);
+  for (Key k = kLo; k <= kHi; k += 100) ASSERT_TRUE(set.insert(k));
+  const std::int64_t before = 9;
+  ASSERT_EQ(set.range_aggregate(kLo, kHi), before);
+
+  // Pin shard 0, then land an in-range insert before shard 1 is read.
+  const auto hook = [](void* ctx, int next_shard) {
+    if (next_shard != 1) return;
+    ASSERT_TRUE(static_cast<LinRC4*>(ctx)->insert(kLo + 50));
+  };
+  LinRC4::Snapshot snap(set, hook, &set);
+  // The snapshot's cut predates the insert; its answer — which it also
+  // stores into the range cache under the OLD root's stamp — is `before`.
+  EXPECT_EQ(snap.range_aggregate(kLo, kHi), before);
+  // A fresh read pins the post-CAS root: the cached entry's stamp no
+  // longer matches and the aggregate must be recomputed.
+  EXPECT_EQ(set.range_aggregate(kLo, kHi), before + 1);
+}
+
+// Size row: reader thread A fills the shared per-shard size row; an
+// update then CASes one shard's root (new unique stamp) without touching
+// the row; reader thread B's lease renewal probes the row with the NEW
+// stamp and must miss and recompute.  Threads (rather than one thread)
+// because a thread's own update self-patches its thread-local lease —
+// only a fresh lease exercises the shared row's validation.
+TEST(StaleAggregateCache, SizeRowOutlivedByRootCas) {
+  QuiescentRC4 set(kKeyspace);
+  for (Key k = 0; k < 20; ++k) ASSERT_TRUE(set.insert(k * 200));
+  std::thread([&] { EXPECT_EQ(set.size(), 20); }).join();  // fills the row
+  ASSERT_TRUE(set.insert(kKeyA));  // shard 0 root CAS; row now stale
+  std::int64_t observed = -1;
+  std::thread([&] { observed = set.size(); }).join();  // fresh lease
+  EXPECT_EQ(observed, 21);
+  // The key's shard-local effects must be visible through composite
+  // queries too (rank = prefix over the repaired row + one descent).
+  EXPECT_EQ(set.rank(kKeyA), set.range_count(0, kKeyA));
+}
+
+// Concurrent variant (TSan-gated in CI with the rest of this suite): the
+// leased/cached read path must serve linearizable answers while updates
+// re-stamp roots under it.  Single writer, known toggle sequence; readers
+// observe through the PUBLIC composite-query API — size() and a
+// whole-keyspace range_aggregate(), both answered via the lease and the
+// epoch-stamped caches — and every observation must equal the tracked
+// population of some writer prefix within its real-time bounds.
+TEST(StaleAggregateCache, ConcurrentCachedReadsLinearize) {
+  constexpr int kTracked = 8;
+  constexpr int kOps = 6000;
+  constexpr int kReaders = 2;
+  std::vector<Key> tracked;
+  for (int i = 0; i < kTracked; ++i) {
+    tracked.push_back(static_cast<Key>(i * 500 + 100));
+  }
+  std::vector<std::int64_t> prefix_pop;  // population after j writer ops
+  std::vector<std::pair<int, bool>> ops;
+  {
+    std::vector<bool> state(kTracked, false);
+    std::int64_t pop = 0;
+    prefix_pop.push_back(pop);
+    Xoshiro256 rng(11);
+    for (int j = 0; j < kOps; ++j) {
+      const int i = static_cast<int>(rng.below(kTracked));
+      const bool is_insert = !state[static_cast<std::size_t>(i)];
+      ops.emplace_back(i, is_insert);
+      state[static_cast<std::size_t>(i)] = is_insert;
+      pop += is_insert ? 1 : -1;
+      prefix_pop.push_back(pop);
+    }
+  }
+
+  LinRC4 set(kKeyspace);
+  std::atomic<std::int64_t> started{0};
+  std::atomic<std::int64_t> done{0};
+  std::atomic<bool> stop{false};
+
+  std::thread writer([&] {
+    for (int j = 0; j < kOps; ++j) {
+      started.store(j + 1, std::memory_order_seq_cst);
+      const auto [i, is_insert] = ops[static_cast<std::size_t>(j)];
+      const Key k = tracked[static_cast<std::size_t>(i)];
+      ASSERT_TRUE(is_insert ? set.insert(k) : set.erase(k)) << j;
+      done.store(j + 1, std::memory_order_seq_cst);
+    }
+    stop.store(true, std::memory_order_release);
+  });
+
+  std::vector<std::thread> readers;
+  std::atomic<std::int64_t> checked{0};
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      Xoshiro256 rng(77 + static_cast<std::uint64_t>(r));
+      do {
+        // One observation per query: each composite read linearizes at
+        // its own instant, so each gets its own real-time bounds.
+        const std::int64_t inv = done.load(std::memory_order_seq_cst);
+        std::int64_t obs;
+        switch (rng.below(3)) {
+          case 0:
+            obs = set.size();
+            break;
+          case 1:
+            obs = set.range_aggregate(0, kKeyspace - 1);
+            break;
+          default:
+            obs = set.range_count(0, kKeyspace - 1);
+            break;
+        }
+        const std::int64_t resp = started.load(std::memory_order_seq_cst);
+        bool ok = false;
+        const auto hi = std::min<std::int64_t>(
+            resp, static_cast<std::int64_t>(prefix_pop.size()) - 1);
+        for (std::int64_t j = inv; j <= hi && !ok; ++j) {
+          ok = prefix_pop[static_cast<std::size_t>(j)] == obs;
+        }
+        ASSERT_TRUE(ok) << "population " << obs << " not reachable in ["
+                        << inv << ", " << resp << "]";
+        checked.fetch_add(1, std::memory_order_relaxed);
+      } while (!stop.load(std::memory_order_acquire));
+    });
+  }
+  writer.join();
+  for (auto& t : readers) t.join();
+  ASSERT_GT(checked.load(), 0);
+
+  // Quiescence: with the writer joined, every read path — leased fast
+  // path, repair walk, and both caches — must agree on the final state.
+  const std::int64_t final_pop = prefix_pop.back();
+  EXPECT_EQ(set.size(), final_pop);
+  EXPECT_EQ(set.range_aggregate(0, kKeyspace - 1), final_pop);
+  std::thread([&] { EXPECT_EQ(set.size(), final_pop); }).join();
+}
+
 }  // namespace
 }  // namespace cbat

@@ -12,8 +12,11 @@
 #include <thread>
 #include <vector>
 
+#include "combine/combined_set.h"
 #include "core/bat_tree.h"
+#include "shard/aggregate_cache.h"
 #include "shard/sharded_set.h"
+#include "util/counters.h"
 #include "util/random.h"
 
 namespace cbat {
@@ -261,6 +264,199 @@ TEST(ShardedSet, MultiThreadedQuiescentConsistency) {
   const auto keys = Sharded16::Snapshot(set).keys();
   ASSERT_EQ(keys.size(), oracle.size());
   EXPECT_TRUE(std::equal(keys.begin(), keys.end(), oracle.begin()));
+}
+
+// --- the combined read path (ISSUE 6: leasing + aggregate caches) ---------
+
+using QuiescentRC4 =
+    ShardedSet<Bat<SizeAug>, 4, SnapshotPolicy::kQuiescent,
+               ReadPath::kCombined>;
+using LinRC4 = ShardedSet<Bat<SizeAug>, 4, SnapshotPolicy::kLinearizable,
+                          ReadPath::kCombined>;
+
+// The cache's only correctness job is refusing entries whose stamp is not
+// the caller's pinned root's stamp; everything else is best effort.
+TEST(AggregateCache4, ValidatesByStampIdentity) {
+  AggregateCache<4> cache;
+  std::int64_t v = -1;
+  // Empty entries never hit, whatever stamp is probed (kEpochTbd == 0 is
+  // the unstamped sentinel and must be unmatchable).
+  EXPECT_FALSE(cache.load_size(0, 0, &v));
+  EXPECT_FALSE(cache.load_size(0, 7, &v));
+
+  cache.store_size(2, /*stamp=*/7, /*v=*/41);
+  EXPECT_TRUE(cache.load_size(2, 7, &v));
+  EXPECT_EQ(v, 41);
+  EXPECT_FALSE(cache.load_size(2, 8, &v)) << "stamp mismatch must miss";
+  EXPECT_FALSE(cache.load_size(1, 7, &v)) << "other shards unaffected";
+
+  // A refill under a new stamp supersedes the old entry entirely.
+  cache.store_size(2, 9, 43);
+  EXPECT_FALSE(cache.load_size(2, 7, &v));
+  EXPECT_TRUE(cache.load_size(2, 9, &v));
+  EXPECT_EQ(v, 43);
+
+  // Range entries additionally key on the exact bounds: a colliding way
+  // must miss on bounds, never return another range's aggregate.
+  cache.store_range(0, 100, 900, /*stamp=*/5, /*v=*/17);
+  EXPECT_TRUE(cache.load_range(0, 100, 900, 5, &v));
+  EXPECT_EQ(v, 17);
+  EXPECT_FALSE(cache.load_range(0, 100, 900, 6, &v));
+  EXPECT_FALSE(cache.load_range(0, 100, 901, 5, &v));
+  EXPECT_FALSE(cache.load_range(0, 101, 900, 5, &v));
+}
+
+// Mixed updates with composite reads after every step, so the leased
+// fast path (unchanged seq), the incremental repair walk (after each
+// update), the updater self-patch, and the hot-range cache all run
+// constantly against a std::set oracle.
+TEST(ShardedSetRC, OracleEquivalenceThroughLeasedReads) {
+  constexpr Key kKeyspace = 4000;
+  QuiescentRC4 set(kKeyspace);
+  Oracle oracle;
+  Xoshiro256 rng(1234);
+  for (int step = 0; step < 4000; ++step) {
+    const Key k = static_cast<Key>(rng.below(kKeyspace));
+    if (rng.below(3) == 0) {
+      ASSERT_EQ(set.erase(k), oracle.s.erase(k) > 0) << k;
+    } else {
+      ASSERT_EQ(set.insert(k), oracle.s.insert(k).second) << k;
+    }
+    // A composite read after every update: the lease is repaired (or
+    // self-patched) each iteration, then revalidated on the fast path by
+    // the immediately following reads.
+    ASSERT_EQ(set.size(), static_cast<std::int64_t>(oracle.s.size()));
+    if (step % 5 != 4) continue;
+    const Key q = static_cast<Key>(rng.below(kKeyspace));
+    ASSERT_EQ(set.rank(q), oracle.rank(q)) << q;
+    ASSERT_EQ(set.range_count(q, q + 500), oracle.range_count(q, q + 500))
+        << q;
+    // range_aggregate == range_count for SizeAug, served through the
+    // hot-range cache (the repeated fixed range keeps one entry hot).
+    ASSERT_EQ(set.range_aggregate(1000, 2999),
+              oracle.range_count(1000, 2999));
+    const std::int64_t n = static_cast<std::int64_t>(oracle.s.size());
+    if (n > 0) {
+      const std::int64_t i = 1 + static_cast<std::int64_t>(
+                                     rng.below(static_cast<std::uint64_t>(n)));
+      ASSERT_EQ(set.select(i), oracle.select(i)) << i;
+    }
+    ASSERT_EQ(set.select(n + 1), std::nullopt);
+  }
+}
+
+TEST(ShardedSetRC, LinearizableVariantMatchesOracleToo) {
+  constexpr Key kKeyspace = 4000;
+  LinRC4 set(kKeyspace);
+  Oracle oracle;
+  Xoshiro256 rng(4321);
+  for (int step = 0; step < 3000; ++step) {
+    const Key k = static_cast<Key>(rng.below(kKeyspace));
+    if (rng.below(3) == 0) {
+      ASSERT_EQ(set.erase(k), oracle.s.erase(k) > 0) << k;
+    } else {
+      ASSERT_EQ(set.insert(k), oracle.s.insert(k).second) << k;
+    }
+    if (step % 5 != 4) continue;
+    ASSERT_EQ(set.size(), static_cast<std::int64_t>(oracle.s.size()));
+    const Key q = static_cast<Key>(rng.below(kKeyspace));
+    ASSERT_EQ(set.rank(q), oracle.rank(q)) << q;
+    ASSERT_EQ(set.range_aggregate(500, 3500), oracle.range_count(500, 3500));
+  }
+}
+
+// Both read-side amortizations are toggleable for benchmark attribution;
+// the answers must be identical with either (or both) off.
+TEST(ShardedSetRC, TogglesPreserveSemantics) {
+  constexpr Key kKeyspace = 4000;
+  QuiescentRC4 set(kKeyspace);
+  Oracle oracle;
+  Xoshiro256 rng(99);
+  for (Key k = 0; k < kKeyspace; k += 3) {
+    set.insert(k);
+    oracle.s.insert(k);
+  }
+  const struct {
+    bool lease, cache;
+  } modes[] = {{true, true}, {true, false}, {false, true}, {false, false}};
+  for (const auto& m : modes) {
+    set_lease_reads(m.lease);
+    set_aggregate_cache(m.cache);
+    ASSERT_EQ(set.size(), static_cast<std::int64_t>(oracle.s.size()));
+    for (Key q : {Key{0}, Key{999}, Key{2500}, Key{3999}}) {
+      ASSERT_EQ(set.rank(q), oracle.rank(q)) << q;
+      ASSERT_EQ(set.range_aggregate(q, q + 700),
+                oracle.range_count(q, q + 700))
+          << q;
+    }
+    // Interleave an update so the lease is never trivially fresh.
+    const Key k = static_cast<Key>(1 + rng.below(kKeyspace));
+    ASSERT_EQ(set.insert(k), oracle.s.insert(k).second);
+    ASSERT_EQ(set.rank(kMaxUserKey),
+              static_cast<std::int64_t>(oracle.s.size()));
+  }
+  set_lease_reads(true);
+  set_aggregate_cache(true);
+}
+
+// Hierarchy accounting: a run of leased reads must register cache/lease
+// hits and at least one lease cut.  Reads run in their own thread so the
+// batched thread-local tallies flush at thread exit.
+TEST(ShardedSetRC, CacheAndLeaseCountersAdvance) {
+  constexpr Key kKeyspace = 4000;
+  QuiescentRC4 set(kKeyspace);
+  for (Key k = 0; k < kKeyspace; k += 5) set.insert(k);
+  const auto before = Counters::snapshot();
+  std::thread([&] {
+    for (int i = 0; i < 200; ++i) {
+      set.size();
+      set.rank(2000);
+      set.range_aggregate(1000, 2999);
+    }
+  }).join();
+  const auto after = Counters::snapshot();
+  EXPECT_GT(after[Counter::kAggCacheHits], before[Counter::kAggCacheHits])
+      << "undisturbed leased reads must hit the lease/cache hierarchy";
+  EXPECT_GT(after[Counter::kLeaseCuts], before[Counter::kLeaseCuts])
+      << "the first read takes the thread's lease cut";
+}
+
+// Read-regime routing: on a combined-shard forest, a thread whose last
+// traffic was a composite read applies its next update solo (no
+// combining handshake), and the result stream must stay exact — this
+// alternating pattern drives insert_solo/erase_solo on every step.
+TEST(ShardedSetRC, RegimeRoutedUpdatesStayExact) {
+  using CombinedRC4 = ShardedSet<CombinedSet<Bat<SizeAug>>, 4,
+                                 SnapshotPolicy::kQuiescent,
+                                 ReadPath::kCombined>;
+  constexpr Key kKeyspace = 4000;
+  CombinedRC4 set(kKeyspace);
+  Oracle oracle;
+  Xoshiro256 rng(7);
+  for (int step = 0; step < 3000; ++step) {
+    const Key k = static_cast<Key>(rng.below(kKeyspace));
+    if (rng.below(3) == 0) {
+      ASSERT_EQ(set.erase(k), oracle.s.erase(k) > 0) << k;
+    } else {
+      ASSERT_EQ(set.insert(k), oracle.s.insert(k).second) << k;
+    }
+    // The read between updates is what arms the solo route for the next
+    // update (kRegimeSoloReads == 1).
+    ASSERT_EQ(set.size(), static_cast<std::int64_t>(oracle.s.size()));
+  }
+  // Update-dense tail with no composite reads: the counter stays 0 after
+  // the first update and the combining protocol is back in force.
+  for (int step = 0; step < 500; ++step) {
+    const Key k = static_cast<Key>(rng.below(kKeyspace));
+    if (rng.below(2) == 0) {
+      ASSERT_EQ(set.erase(k), oracle.s.erase(k) > 0) << k;
+    } else {
+      ASSERT_EQ(set.insert(k), oracle.s.insert(k).second) << k;
+    }
+  }
+  ASSERT_EQ(set.size(), static_cast<std::int64_t>(oracle.s.size()));
+  ASSERT_EQ(set.rank(kMaxUserKey),
+            static_cast<std::int64_t>(oracle.s.size()));
 }
 
 }  // namespace
