@@ -62,5 +62,22 @@ int main() {
   std::printf("via registry: %s has %lld keys, rank(2)=%lld\n",
               erased->name().c_str(), static_cast<long long>(erased->size()),
               static_cast<long long>(erased->rank(2)));
+
+  // Tuning goes through one front door: configure() takes a SetOptions
+  // bag and applies every engaged field the structure can honor.  Here
+  // the adaptive sharded forest aligns its shard map to the keyspace and
+  // turns on online hot-shard rebalancing; configure() returns false if
+  // any engaged field could not be applied (e.g. the same options on a
+  // non-adaptive structure).
+  auto forest = registry.create("Sharded16-Combined-BAT-Adapt");
+  cbat::api::SetOptions opts;
+  opts.key_range_hint = 1 << 20;
+  opts.adaptive_rebalance = true;
+  const bool applied = forest->configure(opts);
+  if (const auto info = registry.info(forest->name())) {
+    std::printf("%s: shards=%d adaptive=%s, configure -> %s\n",
+                forest->name().c_str(), info->shards,
+                info->adaptive ? "yes" : "no", applied ? "ok" : "refused");
+  }
   return 0;
 }

@@ -83,6 +83,18 @@ def validate(doc, path):
                                 f"{path}: run '{run['series']}' missing "
                                 f"latency_ns.{cls}.{pct}"
                             )
+                # Adaptive structures must account for what the
+                # rebalancer did: a measured run whose capabilities
+                # advertise `adaptive` without a `migrations` metric
+                # means the bench driver stopped recording the
+                # controller's counters — the exact blind spot the
+                # adaptive gate exists to close.
+                if run.get("capabilities", {}).get("adaptive"):
+                    if "migrations" not in run.get("metrics", {}):
+                        fail_schema(
+                            f"{path}: adaptive run '{run['series']}' "
+                            f"carries no metrics.migrations"
+                        )
                 n_runs += 1
     return n_runs
 
@@ -229,6 +241,88 @@ def report_hit_rate(base_doc, cur_doc, drop_threshold, scenarios):
     return regressions
 
 
+# Cells below this Zipf skew are excluded from the adaptive gate: with a
+# near-uniform key stream no shard is hot enough that migrating a
+# boundary should pay, so adaptive-vs-static there is pure noise.  The
+# paper's regime of interest (and the scenario's smoke grid) starts at
+# theta = 1.2.
+MIN_GATEABLE_THETA = 1.2
+
+
+def report_adaptive(cur_doc, floor, scenarios):
+    """Gates the adaptive shard layer on not collapsing to the static one.
+
+    For every scenario cell that ran both an adaptive series
+    (capabilities.adaptive) and its static twin (same name minus the
+    "-Adapt" infix) at theta >= MIN_GATEABLE_THETA, compares the
+    adaptive/static geomean throughput ratio against `floor` and
+    requires the adaptive cells to have actually migrated
+    (metrics.migrations > 0 somewhere in the gated set).  This is a
+    current-run property, not a baseline comparison: a noise-tolerant
+    floor (< 1.0) catches the controller silently never firing or
+    migrations thrashing throughput away, while leaving headroom for
+    scheduler jitter on oversubscribed runners.  Returns a list of
+    failure strings (empty when the flag is unset or nothing gated)."""
+    pairs = []  # (label, static_tput, adaptive_tput, migrations)
+    for sc in cur_doc["scenarios"]:
+        if scenarios is not None and sc["name"] not in scenarios:
+            continue
+        for run in sc["runs"]:
+            caps = run.get("capabilities", {})
+            if not caps.get("adaptive") or \
+                    "throughput_ops_per_sec" not in run:
+                continue
+            try:
+                theta = float(run["x"])
+            except (TypeError, ValueError):
+                continue
+            if theta < MIN_GATEABLE_THETA - 1e-9:
+                continue
+            static_name = run["series"].replace("-Adapt", "")
+            twin = next(
+                (r for r in sc["runs"]
+                 if r["series"] == static_name and r["table"] == run["table"]
+                 and r["x"] == run["x"]
+                 and "throughput_ops_per_sec" in r), None)
+            if twin is None:
+                continue
+            pairs.append((
+                f"{sc['name']}/{run['series']} x={run['x']}",
+                float(twin["throughput_ops_per_sec"]),
+                float(run["throughput_ops_per_sec"]),
+                float(run.get("metrics", {}).get("migrations", 0.0)),
+            ))
+    if not pairs:
+        if floor is not None and scenarios is not None:
+            # The gate was requested but found nothing to gate — the
+            # adaptive series was renamed or the scenario stopped
+            # running paired cells.  Silently passing would un-gate it.
+            fail_schema(
+                "--adaptive-floor set but no adaptive/static cell pairs "
+                f"at theta >= {MIN_GATEABLE_THETA} in the gated scenarios")
+        return []
+    ratio = math.exp(
+        sum(math.log(a / s) for _, s, a, _ in pairs) / len(pairs))
+    migrations = sum(m for _, _, _, m in pairs)
+    print(f"compare_bench: adaptive vs static (theta >= "
+          f"{MIN_GATEABLE_THETA}): geomean ratio {ratio:.3f} over "
+          f"{len(pairs)} cell(s), {migrations:.0f} migrations")
+    for label, s, a, m in pairs:
+        print(f"  {label}: {s:,.0f} -> {a:,.0f} ops/s "
+              f"({a / s - 1.0:+.1%}, migrations={m:.0f})")
+    failures = []
+    if floor is not None:
+        if migrations <= 0:
+            failures.append(
+                "adaptive series performed zero migrations across all "
+                "gated cells (controller never fired)")
+        if ratio < floor:
+            failures.append(
+                f"adaptive/static geomean throughput ratio {ratio:.3f} "
+                f"fell below the collapse floor {floor:.2f}")
+    return failures
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("baseline", nargs="?", help="baseline BENCH_*.json")
@@ -260,6 +354,14 @@ def main():
                          "by more than this absolute amount below the "
                          "baseline; hit rates are always reported either "
                          "way")
+    ap.add_argument("--adaptive-floor", type=float, default=None,
+                    metavar="RATIO",
+                    help="fail if the current run's adaptive series "
+                         "collapse onto their static twins: requires "
+                         "adaptive/static geomean throughput >= RATIO at "
+                         "theta >= 1.2 and at least one recorded "
+                         "migration; the comparison is always reported "
+                         "either way")
     args = ap.parse_args()
 
     if args.check:
@@ -372,6 +474,7 @@ def main():
                                        args.occupancy_drop, gated)
     hit_regressions = report_hit_rate(base_doc, cur_doc,
                                       args.hit_rate_drop, gated)
+    adaptive_failures = report_adaptive(cur_doc, args.adaptive_floor, gated)
 
     if regressions:
         print(f"compare_bench: FAIL — {len(regressions)} cell(s) regressed "
@@ -396,6 +499,12 @@ def main():
         for key, b, c in hit_regressions[:20]:
             print(f"  {key[0]}/{key[1]}: {b:.3f} -> {c:.3f}",
                   file=sys.stderr)
+        return 1
+    if adaptive_failures:
+        print(f"compare_bench: FAIL — adaptive shard layer collapsed:",
+              file=sys.stderr)
+        for msg in adaptive_failures:
+            print(f"  {msg}", file=sys.stderr)
         return 1
     print("compare_bench: OK — no regression beyond threshold")
     return 0

@@ -99,6 +99,57 @@ concept ConsistencyIntrospectable = requires {
   { S::composite_queries_linearizable() } -> std::convertible_to<bool>;
 };
 
+// One bag of tuning knobs for every structure, applied through
+// AbstractOrderedSet::configure.  Each field is optional; a disengaged
+// field means "leave that knob alone".  This replaces the accumulated
+// ad-hoc setters (set_key_range_hint on the abstract set plus the
+// process-wide set_combine_max_batch / set_delegation_timeout /
+// set_lease_reads / set_aggregate_cache free functions) as the single
+// front door the benchmark driver and the examples go through; the old
+// setters remain as thin deprecated wrappers so existing callers and
+// tests keep working.
+//
+// Scope caveat, inherited from the knobs themselves: everything except
+// key_range_hint and the rebalancing fields is PROCESS-WIDE (the knobs
+// gate layers, not instances), so configure() on one structure adjusts
+// every structure sharing the process.  The benchmark harness already
+// relies on exactly that to toggle layers between series.
+struct SetOptions {
+  // Advisory: keys will be drawn from [0, key_range_hint).  Per instance.
+  std::optional<Key> key_range_hint;
+  // Max requests one flat-combining drain applies (<= 1 disables
+  // combining).  Process-wide.
+  std::optional<int> combine_max_batch;
+  // Spin budget (iterations) for delegation waits, combining publication
+  // waits, and read-lease waits; 0 means never wait.  Process-wide.
+  std::optional<std::uint64_t> delegation_timeout;
+  // Snapshot leasing for composite reads ("-RC" forests).  Process-wide.
+  std::optional<bool> lease_reads;
+  // Epoch-stamped per-shard aggregate caches.  Process-wide.
+  std::optional<bool> aggregate_cache;
+  // Online hot-shard rebalancing ("-Adapt" forests only).  Per instance.
+  std::optional<bool> adaptive_rebalance;
+  // A shard migrates when its update rate exceeds this multiple (> 1) of
+  // the mean.  Per instance.
+  std::optional<double> rebalance_hot_factor;
+  // Updates between two rebalance-policy checks on one thread.  Per
+  // instance.
+  std::optional<std::uint32_t> rebalance_check_period;
+};
+
+// Static capabilities of a registered structure, derived from its type at
+// registration (never parsed back out of its name).  The benchmark
+// records these in every run's JSON config and `cbat_bench --list
+// --verbose` prints them.
+struct StructureInfo {
+  bool ranked = false;          // order statistics (RankedSet)
+  Consistency consistency = Consistency::kLinearizable;  // composite queries
+  bool combining = false;       // updates go through flat combining
+  bool read_combining = false;  // composite reads lease shared cuts
+  bool adaptive = false;        // online hot-shard rebalancing
+  int shards = 1;               // forest width (1 = single tree)
+};
+
 // Type-erased view of a registered structure.
 //
 // Thread-safety contract: every operation is safe to call from any number
@@ -137,9 +188,20 @@ class AbstractOrderedSet {
     return range_count(lo, hi);
   }
 
-  // Advisory: keys will be drawn from [0, max_key).  The benchmark driver
-  // calls this before prefilling; structures without a use for it (all the
-  // single trees) keep the no-op default.  Returns whether it was applied.
+  // Applies every engaged field of `o` that this structure (or the
+  // process-wide layer knobs) can honor; returns true iff ALL engaged
+  // fields were applied.  The base implementation (registry.cpp) handles
+  // the generic fields — key_range_hint via the virtual below, the four
+  // layer knobs via their process-wide slots — and reports false for the
+  // rebalancing fields; SetModel overrides it to forward those to
+  // structures that expose the matching setters.  This is the preferred
+  // configuration front door; see SetOptions.
+  virtual bool configure(const SetOptions& o);
+
+  // Deprecated: use configure({.key_range_hint = max_key}).  Advisory:
+  // keys will be drawn from [0, max_key); structures without a use for it
+  // (all the single trees) keep the no-op default.  Returns whether it
+  // was applied.
   virtual bool set_key_range_hint(Key /*max_key*/) { return false; }
 
   // The guarantee this structure's composite queries (size/rank/select/
@@ -209,6 +271,43 @@ class SetModel final : public AbstractOrderedSet {
     return false;
   }
 
+  // Generic fields go through the base (process-wide knobs + the hint);
+  // the rebalancing fields bind to the concrete type's setters when it
+  // has them — the concept detection mirrors every other bridge here.
+  bool configure(const SetOptions& o) override {
+    SetOptions rest = o;
+    rest.adaptive_rebalance.reset();
+    rest.rebalance_hot_factor.reset();
+    rest.rebalance_check_period.reset();
+    bool ok = AbstractOrderedSet::configure(rest);
+    if (o.adaptive_rebalance.has_value()) {
+      if constexpr (requires(T t, bool on) { t.set_adaptive_enabled(on); }) {
+        t_.set_adaptive_enabled(*o.adaptive_rebalance);
+      } else {
+        ok = false;
+      }
+    }
+    if (o.rebalance_hot_factor.has_value()) {
+      if constexpr (requires(T t, double f) {
+                      t.set_rebalance_hot_factor(f);
+                    }) {
+        t_.set_rebalance_hot_factor(*o.rebalance_hot_factor);
+      } else {
+        ok = false;
+      }
+    }
+    if (o.rebalance_check_period.has_value()) {
+      if constexpr (requires(T t, std::uint32_t p) {
+                      t.set_rebalance_check_period(p);
+                    }) {
+        t_.set_rebalance_check_period(*o.rebalance_check_period);
+      } else {
+        ok = false;
+      }
+    }
+    return ok;
+  }
+
   Consistency consistency() const override {
     if constexpr (ConsistencyIntrospectable<T>) {
       return T::composite_queries_linearizable()
@@ -242,6 +341,7 @@ class StructureRegistry {
     bool ranked = false;       // satisfies RankedSet (order statistics)
     bool in_comparison = false;  // member of the Figures 6-9 comparison set
     int order = 0;             // registration order; fixes plot ordering
+    StructureInfo info;        // type-derived capabilities (register_type)
   };
 
   static StructureRegistry& instance();
@@ -263,6 +363,35 @@ class StructureRegistry {
     };
     e.ranked = RankedSet<T>;
     e.in_comparison = in_comparison;
+    // Capabilities come from the TYPE, through the same static hooks the
+    // layers already expose — never parsed back out of the name (the old
+    // scheme; it broke the moment a name stopped encoding a property).
+    e.info.ranked = e.ranked;
+    if constexpr (ConsistencyIntrospectable<T>) {
+      e.info.consistency = T::composite_queries_linearizable()
+                               ? Consistency::kLinearizable
+                               : Consistency::kQuiescentlyConsistent;
+    }
+    if constexpr (requires {
+                    { T::combines_updates() } -> std::convertible_to<bool>;
+                  }) {
+      e.info.combining = T::combines_updates();
+    }
+    if constexpr (requires {
+                    { T::combines_reads() } -> std::convertible_to<bool>;
+                  }) {
+      e.info.read_combining = T::combines_reads();
+    }
+    if constexpr (requires {
+                    { T::adaptive_rebalancing() } -> std::convertible_to<bool>;
+                  }) {
+      e.info.adaptive = T::adaptive_rebalancing();
+    }
+    if constexpr (requires {
+                    { T::num_shards() } -> std::convertible_to<int>;
+                  }) {
+      e.info.shards = T::num_shards();
+    }
     register_structure(name, std::move(e));
   }
 
@@ -271,6 +400,10 @@ class StructureRegistry {
 
   bool contains(const std::string& name) const;
   bool is_ranked(const std::string& name) const;
+
+  // The registered structure's static capabilities, or nullopt if the
+  // name is unknown.
+  std::optional<StructureInfo> info(const std::string& name) const;
 
   // All registered names, sorted.
   std::vector<std::string> names() const;

@@ -7,7 +7,9 @@
 #include "bundled/bundled_tree.h"
 #include "chromatic/chromatic_set.h"
 #include "combine/combined_set.h"
+#include "combine/combining_buffer.h"
 #include "core/bat_tree.h"
+#include "shard/aggregate_cache.h"
 #include "frbst/frbst.h"
 #include "shard/sharded_set.h"
 #include "vcasbst/vcas_bst.h"
@@ -74,6 +76,31 @@ static_assert(ShardedSet<CombinedSet<Bat<SizeAug>>, 16,
                          SnapshotPolicy::kQuiescent,
                          ReadPath::kCombined>::read_path() ==
               ReadPath::kCombined);
+// The adaptive forests keep the whole contract — ranked, hintable,
+// consistency-introspectable — and additionally report their rebalancer
+// through the capability hooks the registry derives StructureInfo from.
+using Adapt16 = ShardedSet<CombinedSet<Bat<SizeAug>>, 16,
+                           SnapshotPolicy::kQuiescent, ReadPath::kDirect,
+                           /*Adaptive=*/true>;
+using Adapt16Lin = ShardedSet<CombinedSet<Bat<SizeAug>>, 16,
+                              SnapshotPolicy::kLinearizable,
+                              ReadPath::kDirect, /*Adaptive=*/true>;
+static_assert(RankedSet<Adapt16> && KeyRangeHintable<Adapt16>);
+static_assert(RankedSet<Adapt16Lin>);
+static_assert(Adapt16::adaptive_rebalancing());
+static_assert(!Adapt16::composite_queries_linearizable());
+static_assert(Adapt16Lin::composite_queries_linearizable());
+// Capability hooks: combining comes from the inner CombinedSet, read
+// combining only from the forest-level "-RC" path, adaptivity only from
+// the Adaptive parameter — names no longer carry any of this.
+static_assert(Adapt16::combines_updates());
+static_assert(!Adapt16::combines_reads());
+static_assert(!ShardedSet<Bat<SizeAug>, 16>::combines_updates());
+static_assert(!ShardedSet<Bat<SizeAug>, 16>::adaptive_rebalancing());
+static_assert(CombinedSet<Bat<SizeAug>>::combines_updates());
+static_assert(ShardedSet<CombinedSet<Bat<SizeAug>>, 16,
+                         SnapshotPolicy::kQuiescent,
+                         ReadPath::kCombined>::combines_reads());
 
 namespace {
 std::mutex& registry_mutex() {
@@ -128,6 +155,38 @@ StructureRegistry::StructureRegistry() {
   register_type<ShardedSet<CombinedSet<Bat<SizeAug>>, 16,
                            SnapshotPolicy::kLinearizable,
                            ReadPath::kCombined>>("Sharded16-Combined-BAT-RC-Lin");
+  // Adaptive forests (rebalance scenario): same combined write path as
+  // "Sharded16-Combined-BAT", plus the online hot-shard rebalancer.  The
+  // rebalancing knobs arrive through configure(SetOptions).
+  register_type<Adapt16>("Sharded16-Combined-BAT-Adapt");
+  register_type<Adapt16Lin>("Sharded16-Combined-BAT-Adapt-Lin");
+}
+
+bool AbstractOrderedSet::configure(const SetOptions& o) {
+  bool ok = true;
+  if (o.key_range_hint.has_value()) {
+    ok = set_key_range_hint(*o.key_range_hint) && ok;
+  }
+  if (o.combine_max_batch.has_value()) {
+    set_combine_max_batch(*o.combine_max_batch);
+  }
+  if (o.delegation_timeout.has_value()) {
+    // The spin budget is a per-instantiation static on BatTree; apply it
+    // to every variant the registry instantiates so the knob stays
+    // process-wide as documented.
+    Bat<SizeAug>::set_delegation_timeout(*o.delegation_timeout);
+    BatDel<SizeAug>::set_delegation_timeout(*o.delegation_timeout);
+    BatEagerDel<SizeAug>::set_delegation_timeout(*o.delegation_timeout);
+  }
+  if (o.lease_reads.has_value()) set_lease_reads(*o.lease_reads);
+  if (o.aggregate_cache.has_value()) set_aggregate_cache(*o.aggregate_cache);
+  // The rebalancing fields need a structure with the matching setters;
+  // SetModel's override applies them before delegating here.
+  if (o.adaptive_rebalance.has_value() || o.rebalance_hot_factor.has_value() ||
+      o.rebalance_check_period.has_value()) {
+    ok = false;
+  }
+  return ok;
 }
 
 void StructureRegistry::register_structure(std::string name, Entry entry) {
@@ -161,6 +220,14 @@ bool StructureRegistry::is_ranked(const std::string& name) const {
   std::lock_guard<std::mutex> g(registry_mutex());
   const auto it = entries_.find(name);
   return it != entries_.end() && it->second.ranked;
+}
+
+std::optional<StructureInfo> StructureRegistry::info(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> g(registry_mutex());
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second.info;
 }
 
 std::vector<std::string> StructureRegistry::names() const {

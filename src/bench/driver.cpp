@@ -164,8 +164,11 @@ RunResult run_on(SetAdapter& set, const RunConfig& cfg) {
                  set.name().c_str());
   }
   // Let keyspace-aware structures (the shard layer) align their key map to
-  // the workload before any key goes in.
-  set.set_key_range_hint(cfg.workload.max_key);
+  // the workload before any key goes in, through the unified configure()
+  // front door (structures without a use for the hint ignore it).
+  api::SetOptions opts;
+  opts.key_range_hint = cfg.workload.max_key;
+  set.configure(opts);
   if (cfg.prefill) prefill(set, cfg.workload, cfg.threads, cfg.seed ^ 0xabcd);
 
   std::atomic<int> ready{0};

@@ -674,7 +674,6 @@ void run_combine_sweep(ScenarioContext& ctx) {
                    p.control, config_for(share));
       }
       for (long b : batch_sizes) {
-        set_combine_max_batch(static_cast<int>(b));
         const std::string series =
             std::string(p.combined) + "/b" + std::to_string(b);
         for (long share : update_shares) {
@@ -689,7 +688,12 @@ void run_combine_sweep(ScenarioContext& ctx) {
           Counters::Snapshot best_counters;
           for (int rep = 0; rep < repeats; ++rep) {
             auto set = make_structure(p.combined);
-            set->set_key_range_hint(cfg.workload.max_key);
+            // The unified front door (api::SetOptions): the key-range
+            // hint plus this cell's combining batch cap in one call.
+            api::SetOptions opts;
+            opts.key_range_hint = cfg.workload.max_key;
+            opts.combine_max_batch = static_cast<int>(b);
+            set->configure(opts);
             prefill(*set, cfg.workload, cfg.threads, cfg.seed ^ 0xabcd);
             Counters::reset();
             RunConfig timed = cfg;
@@ -913,10 +917,12 @@ void run_read_burst(ScenarioContext& ctx) {
       for (int rep = 0; rep < repeats; ++rep) {
         for (std::size_t si = 0; si < std::size(series); ++si) {
           const Series& s = series[si];
-          set_lease_reads(s.lease);
-          set_aggregate_cache(s.cache);
           auto set = make_structure(s.structure);
-          set->set_key_range_hint(cfg.workload.max_key);
+          api::SetOptions opts;
+          opts.key_range_hint = cfg.workload.max_key;
+          opts.lease_reads = s.lease;
+          opts.aggregate_cache = s.cache;
+          set->configure(opts);
           prefill(*set, cfg.workload, cfg.threads, cfg.seed ^ 0xabcd);
           Counters::reset();
           RunConfig timed = cfg;
@@ -985,6 +991,127 @@ void run_read_burst(ScenarioContext& ctx) {
   }
   set_lease_reads(saved_lease);
   set_aggregate_cache(saved_cache);
+  Counters::reset();
+}
+
+// rebalance: the adaptive shard layer (ShardMap indirection + epoch-cut
+// key migration, src/shard/) against the static forest on a pure-update
+// Zipfian mix.  Contiguous static sharding sends the Zipf head to shard 0,
+// which at theta >= 1.2 absorbs nearly all updates; the adaptive forest
+// detects the hot shard from its update-rate counters and migrates key
+// ranges to the cool neighbors until no further median split helps.  Each
+// adaptive cell records `migrations` / `migrated_keys` / `double_routes` /
+// `shard_imbalance` (hot-shard rate over the mean, averaged over policy
+// checks) into the schema-1 JSON; scripts/compare_bench.py requires the
+// migration metrics on every adaptive run (missing = schema error) and
+// gates on the adaptive series not collapsing to the static one at
+// theta >= 1.2.  Smoke oversubscribes like combine_sweep: the hot-shard
+// penalty is runnable threads convoying on one shard's combiner.
+void run_rebalance(ScenarioContext& ctx) {
+  const Args& args = *ctx.args;
+  // 256K keys: wide enough that 1/16 of the keyspace is a meaningful Zipf
+  // tail cut, small enough that a migration's bulk move finishes well
+  // inside a smoke cell.  Cells shorter than ~1s hide the adaptive win
+  // under the migration transient, so smoke runs a full second.
+  const long maxkey = pick(args, "--maxkey", 1048576, 262144, 262144);
+  const int ms = static_cast<int>(pick(args, "--ms", 3000, 1200, 400));
+  const auto thread_counts =
+      args.full_scale()
+          ? args.get_list("--threads", {12, 24, 48, 96})
+          : args.get_list("--threads", {args.smoke() ? 16L : 8L});
+  const std::vector<double> thetas =
+      args.full_scale()
+          ? std::vector<double>{1.05, 1.2, 1.35, 1.5, 1.65}
+          : (args.smoke() ? std::vector<double>{1.2, 1.4, 1.6}
+                          : std::vector<double>{1.2, 1.4});
+
+  struct Series {
+    const char* structure;
+    bool adaptive;
+  };
+  const Series series[] = {
+      {"Sharded16-Combined-BAT", false},
+      {"Sharded16-Combined-BAT-Adapt", true},
+  };
+
+  for (long threads : thread_counts) {
+    const std::string table =
+        "rebalance: TT " + std::to_string(threads) + ", MK " +
+        std::to_string(maxkey) + ", 50-50-0-0 Zipfian — throughput (ops/s)";
+    for (double theta : thetas) {
+      char xbuf[16];
+      std::snprintf(xbuf, sizeof(xbuf), "%g", theta);
+      RunConfig cfg;
+      cfg.workload.insert_pct = 50;
+      cfg.workload.delete_pct = 50;
+      cfg.workload.max_key = maxkey;
+      cfg.workload.dist = KeyDist::kZipf;
+      cfg.workload.zipf_theta = theta;
+      cfg.threads = static_cast<int>(threads);
+      cfg.duration_ms = ms;
+      for (const Series& s : series) {
+        // Best-of-N by hand so the migration counters match the kept
+        // repetition; prefill runs outside the counted window (it is
+        // uniform, so it neither triggers nor deserves migrations).  At
+        // least 3 repetitions even in smoke: a single oversubscribed rep
+        // is too noisy for the adaptive-vs-static CI gate.
+        const int repeats = std::max(repeats_for(args), 3);
+        RunResult best;
+        Counters::Snapshot best_counters;
+        for (int rep = 0; rep < repeats; ++rep) {
+          auto set = make_structure(s.structure);
+          api::SetOptions opts;
+          opts.key_range_hint = cfg.workload.max_key;
+          if (s.adaptive) {
+            // A short check period so the rebalancer converges within a
+            // smoke cell; the policy thresholds stay at their defaults.
+            opts.adaptive_rebalance = true;
+            opts.rebalance_check_period = 512;
+          }
+          set->configure(opts);
+          prefill(*set, cfg.workload, cfg.threads, cfg.seed ^ 0xabcd);
+          Counters::reset();
+          RunConfig timed = cfg;
+          timed.prefill = false;  // already done above
+          RunResult r = run_on(*set, timed);
+          const auto c = Counters::snapshot();
+          if (rep == 0 || r.throughput() > best.throughput()) {
+            best = std::move(r);
+            best_counters = c;
+          }
+        }
+        RunRecord& rec = add_run(*ctx.out, table, "theta", xbuf,
+                                 s.structure, std::move(best));
+        ctx.out->add_cell(table, "theta", xbuf, s.structure,
+                          fmt_throughput(rec.result.throughput()));
+        if (!s.adaptive) {
+          std::fprintf(stderr, "  [%s theta=%s] %.3f Mop/s\n", s.structure,
+                       xbuf, rec.result.mops());
+          continue;
+        }
+        const double migrations = static_cast<double>(
+            best_counters[Counter::kShardMigrations]);
+        const double moved = static_cast<double>(
+            best_counters[Counter::kShardMigratedKeys]);
+        const double routes = static_cast<double>(
+            best_counters[Counter::kShardDoubleRoutes]);
+        const double imb_sum = static_cast<double>(
+            best_counters[Counter::kShardImbalanceSumMilli]);
+        const double imb_n = static_cast<double>(
+            best_counters[Counter::kShardImbalanceSamples]);
+        const double imbalance = imb_n > 0 ? imb_sum / 1000.0 / imb_n : 0.0;
+        rec.metrics = {{"migrations", migrations},
+                       {"migrated_keys", moved},
+                       {"double_routes", routes},
+                       {"shard_imbalance", imbalance}};
+        std::fprintf(stderr,
+                     "  [%s theta=%s] %.3f Mop/s, %g migrations, "
+                     "%g keys moved, imbalance %.1fx\n",
+                     s.structure, xbuf, rec.result.mops(), migrations,
+                     moved, imbalance);
+      }
+    }
+  }
   Counters::reset();
 }
 
@@ -1277,6 +1404,10 @@ void register_builtin_scenarios(ScenarioRegistry& reg) {
            "Read-side scaling: leased epoch cuts + epoch-stamped aggregate "
            "caches vs direct snapshots",
            run_read_burst});
+  reg.add({"rebalance",
+           "Adaptive shard layer: online hot-shard rebalancing vs the "
+           "static forest under Zipf skew",
+           run_rebalance});
   reg.add({"micro_components",
            "Micro: component kernels (EBR guard, Zipf, flat set, propagate, "
            "queries)",
@@ -1377,6 +1508,22 @@ void append_run_json(JsonWriter& w, const RunRecord& rec) {
     w.kv("structure", r.structure);
     // Micro kernels have no structure-level guarantee to report.
     if (!r.consistency.empty()) w.kv("consistency", r.consistency);
+    // Static capabilities, straight from the registry's type-derived
+    // StructureInfo — consumers (scripts/compare_bench.py) read these
+    // instead of parsing structure names.  Absent for micro kernels and
+    // any other non-registry series.
+    if (const auto info = api::StructureRegistry::instance().info(
+            r.structure)) {
+      w.key("capabilities");
+      w.begin_object();
+      w.kv("ranked", info->ranked);
+      w.kv("consistency", api::consistency_name(info->consistency));
+      w.kv("combining", info->combining);
+      w.kv("read_combining", info->read_combining);
+      w.kv("adaptive", info->adaptive);
+      w.kv("shards", static_cast<std::int64_t>(info->shards));
+      w.end_object();
+    }
     w.key("config");
     w.begin_object();
     w.kv("mix", wl.mix_string());
@@ -1487,7 +1634,7 @@ void print_usage(std::FILE* f) {
       "cbat_bench — unified scenario suite for the paper's figures\n"
       "\n"
       "usage:\n"
-      "  cbat_bench --list\n"
+      "  cbat_bench --list [--verbose]\n"
       "  cbat_bench --scenario NAME[,NAME...] [options]\n"
       "  cbat_bench --all [options]\n"
       "\n"
@@ -1522,6 +1669,22 @@ int scenario_main(int argc, char** argv, const char* forced_scenario) {
     if (args.has("--list")) {
       for (const auto& s : reg.all()) {
         std::printf("%-18s %s\n", s.name.c_str(), s.title.c_str());
+      }
+      if (args.has("--verbose")) {
+        // The registered structures with their type-derived capabilities
+        // (api::StructureInfo) — the same facts the JSON runs record.
+        std::printf("\nstructures:\n");
+        auto& sr = api::StructureRegistry::instance();
+        for (const auto& name : sr.names()) {
+          const auto info = sr.info(name);
+          if (!info) continue;
+          std::printf("  %-32s %s, %s, shards=%d%s%s%s\n", name.c_str(),
+                      info->ranked ? "ranked" : "unranked",
+                      api::consistency_name(info->consistency),
+                      info->shards, info->combining ? ", combining" : "",
+                      info->read_combining ? ", read-combining" : "",
+                      info->adaptive ? ", adaptive" : "");
+        }
       }
       return 0;
     }

@@ -19,5 +19,13 @@ template class ShardedSet<CombinedSet<Bat<SizeAug>>, 16,
                           SnapshotPolicy::kQuiescent, ReadPath::kCombined>;
 template class ShardedSet<CombinedSet<Bat<SizeAug>>, 16,
                           SnapshotPolicy::kLinearizable, ReadPath::kCombined>;
+// Adaptive ("-Adapt") forests: the combined shards plus the online
+// hot-shard rebalancer (ShardMap indirection + epoch-cut migration).
+template class ShardedSet<CombinedSet<Bat<SizeAug>>, 16,
+                          SnapshotPolicy::kQuiescent, ReadPath::kDirect,
+                          true>;
+template class ShardedSet<CombinedSet<Bat<SizeAug>>, 16,
+                          SnapshotPolicy::kLinearizable, ReadPath::kDirect,
+                          true>;
 
 }  // namespace cbat

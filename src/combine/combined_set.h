@@ -101,6 +101,12 @@ class CombinedSet {
   bool insert_solo(Key k) { return inner_.insert(k); }
   bool erase_solo(Key k) { return inner_.erase(k); }
 
+  // Bulk passthrough for the adaptive shard layer's migrator: the batch
+  // bypasses the combining buffer exactly like the *_solo updates (it is
+  // the same concurrent-solo path, safe under in-flight combined
+  // batches).  Ops must be sorted by key.
+  void apply_batch(BatchOp* ops, int n) { inner_.apply_batch(ops, n); }
+
   // --- queries ------------------------------------------------------------
   //
   // Point queries are straight reads on the inner version tree.  Composite
@@ -167,6 +173,13 @@ class CombinedSet {
   {
     inner_.set_epoch_source(counter, unique_stamps);
   }
+
+  // Capability hooks for the registry's StructureInfo: updates here go
+  // through the flat-combining protocol (ShardedSet forwards this from
+  // its inner, so "Sharded*-Combined-*" forests report it too), and
+  // composite reads combine when the augmentation allows it.
+  static constexpr bool combines_updates() { return true; }
+  static constexpr bool combines_reads() { return kCombineReads; }
 
   // Spin budget forwarded from the inner tree so the shard layer's leased
   // read path (ShardedSet lease_budget) sees one consistent knob.
@@ -453,5 +466,13 @@ extern template class ShardedSet<CombinedSet<Bat<SizeAug>>, 16,
 extern template class ShardedSet<CombinedSet<Bat<SizeAug>>, 16,
                                  SnapshotPolicy::kLinearizable,
                                  ReadPath::kCombined>;
+// The "-Adapt" adaptive forests: online hot-shard rebalancing on top of
+// the combined shards.
+extern template class ShardedSet<CombinedSet<Bat<SizeAug>>, 16,
+                                 SnapshotPolicy::kQuiescent,
+                                 ReadPath::kDirect, true>;
+extern template class ShardedSet<CombinedSet<Bat<SizeAug>>, 16,
+                                 SnapshotPolicy::kLinearizable,
+                                 ReadPath::kDirect, true>;
 
 }  // namespace cbat

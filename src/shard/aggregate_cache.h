@@ -149,7 +149,40 @@ class AggregateCache {
     e.seq.store(seq + 2, std::memory_order_release);
   }
 
+  // --- map-flip invalidation ----------------------------------------------
+
+  // Drops every entry (stamp -> kEpochTbd, which load_* always reject).
+  // Called by the adaptive shard layer when it installs a new shard map.
+  // Not needed for correctness — adaptive lookups key range entries by
+  // the exact (lo, hi) they aggregate, and a given (root version, range)
+  // pair always has one answer, so survivors from the old map either
+  // mismatch the new owned bounds or are still right — but after a flip
+  // most surviving ranges never recur, so the sweep reclaims the ways
+  // for the new map's working set.  Best effort per entry (an entry
+  // mid-fill keeps its writer's value).
+  void invalidate_all() const {
+    for (int s = 0; s < NumShards; ++s) {
+      kill_entry(sizes_->e[s].seq, sizes_->e[s].stamp);
+      for (int w = 0; w < kRangeWays; ++w) {
+        kill_entry(ranges_[s]->e[w].seq, ranges_[s]->e[w].stamp);
+      }
+    }
+  }
+
  private:
+  static void kill_entry(std::atomic<std::uint64_t>& seq,
+                         std::atomic<std::uint64_t>& stamp) {
+    std::uint64_t s = seq.load(std::memory_order_relaxed);
+    if (s & 1) return;
+    if (!seq.compare_exchange_strong(s, s + 1, std::memory_order_relaxed,
+                                     std::memory_order_relaxed)) {
+      return;
+    }
+    std::atomic_thread_fence(std::memory_order_release);
+    stamp.store(kEpochTbd, std::memory_order_relaxed);
+    seq.store(s + 2, std::memory_order_release);
+  }
+
   // Seqlock field order mirrors the read/write protocol above: the
   // acquire fence in a reader pairs with the writer's release fence, so a
   // reader that observed any payload word of an in-progress or newer

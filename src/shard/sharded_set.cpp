@@ -42,5 +42,11 @@ template class ShardedSet<Bat<SizeAug>, 4, SnapshotPolicy::kQuiescent,
                           ReadPath::kCombined>;
 template class ShardedSet<Bat<SizeAug>, 4, SnapshotPolicy::kLinearizable,
                           ReadPath::kCombined>;
+// Adaptive (hot-shard rebalancing) variants over plain BAT shards
+// (test-only; the registry's "-Adapt" forest wraps CombinedSet shards).
+template class ShardedSet<Bat<SizeAug>, 4, SnapshotPolicy::kQuiescent,
+                          ReadPath::kDirect, true>;
+template class ShardedSet<Bat<SizeAug>, 4, SnapshotPolicy::kLinearizable,
+                          ReadPath::kDirect, true>;
 
 }  // namespace cbat

@@ -48,6 +48,25 @@
 // outside [0, keyspace) are legal and simply land in the first or last
 // shard.
 //
+// Adaptive sharding (the Adaptive template parameter; ROADMAP: hot-shard
+// rebalancing).  The static contiguous split leaves a Zipfian hot shard
+// reserializing updates; "-Adapt" forests replace it with a ShardMap
+// indirection — an atomically-swappable boundary table — plus per-shard
+// update-rate tracking and a piggybacked RebalanceController that sheds
+// half of a hot shard's owned range to a cooler adjacent neighbor (a
+// local rule in the spirit of Bampas et al.'s self-stabilizing
+// containment-tree balancing: no global coordinator, convergence while
+// traffic continues).  A boundary move runs the epoch-cut migration
+// protocol (docs/ARCHITECTURE.md "The migration protocol"): freeze the
+// move behind a phase word, bulk-move the keys on a linearizable epoch
+// cut via apply_batch, double-route in-flight updates through a dirty-key
+// log, seal the range for one grace period to replay the log, then
+// publish the new map and retire the moved keys' source-shard copies.
+// Composite queries stay correct because every shard's contribution is
+// restricted to the owned range of the map the snapshot pinned: a key's
+// copies outside its owning shard's range are invisible on every cut, so
+// any (map, roots) combination a snapshot can assemble is consistent.
+//
 // Read path (the ReadPath template parameter; ROADMAP: read-side scaling):
 //
 //   * kDirect (default): every composite query acquires its own Snapshot
@@ -76,6 +95,7 @@
 #include <concepts>
 #include <cstddef>
 #include <cstdint>
+#include <limits>
 #include <mutex>
 #include <optional>
 #include <thread>
@@ -142,9 +162,15 @@ enum class ReadPath { kDirect, kCombined };
 
 template <class Inner = Bat<SizeAug>, int NumShards = 16,
           SnapshotPolicy Policy = SnapshotPolicy::kQuiescent,
-          ReadPath RPath = ReadPath::kDirect>
+          ReadPath RPath = ReadPath::kDirect, bool Adaptive = false>
   requires ShardableInner<Inner> && (NumShards >= 1) &&
            (Policy == SnapshotPolicy::kQuiescent || EpochStampedInner<Inner>) &&
+           // Migration freezes boundary moves at epoch cuts and bulk-moves
+           // keys with apply_batch, so adaptive forests need the stamping
+           // machinery even under kQuiescent plus a bulk update path.
+           (!Adaptive ||
+            (EpochStampedInner<Inner> &&
+             requires(Inner t, BatchOp* b, int n) { t.apply_batch(b, n); })) &&
            (RPath == ReadPath::kDirect ||
             (EpochStampedInner<Inner> &&
              std::same_as<typename Inner::AugType::Value, std::int64_t>))
@@ -153,6 +179,53 @@ class ShardedSet {
   using Aug = typename Inner::AugType;
   using AugValue = typename Aug::Value;
   using V = Version<Aug>;
+
+  // The atomically-swappable boundary table (Adaptive forests).  Shard s
+  // owns the inclusive key range [lo_of(s), hi_of(s)]; upper[NumShards-1]
+  // is pinned to kMaxUserKey so the table always covers the keyspace.
+  // Maps are immutable once published: a boundary move installs a fresh
+  // table whose `prev` points at the one it replaced and whose
+  // `flip_epoch` is stamped after installation (kEpochTbd until then,
+  // help-stamped by readers — the same deferred-timestamp discipline as
+  // root stamps), so linearizable snapshots can resolve the map chain to
+  // the newest table at or before their cut.  Replaced tables are
+  // EBR-retired; an accepted table's `prev` is never dereferenced, which
+  // is what bounds the walk to live memory (see resolve_map_epoch).
+  struct ShardMap {
+    std::array<Key, NumShards> upper{};  // inclusive owned upper bounds
+    std::uint64_t gen = 1;               // monotone map generation
+    const ShardMap* prev = nullptr;
+    mutable std::atomic<std::uint64_t> flip_epoch{kEpochTbd};
+
+    int shard_of(Key k) const {
+      int lo = 0, hi = NumShards - 1;
+      while (lo < hi) {
+        const int mid = (lo + hi) / 2;
+        if (k <= upper[mid]) {
+          hi = mid;
+        } else {
+          lo = mid + 1;
+        }
+      }
+      return lo;
+    }
+    Key lo_of(int s) const {
+      return s == 0 ? std::numeric_limits<Key>::min() : upper[s - 1] + 1;
+    }
+    Key hi_of(int s) const { return upper[s]; }
+  };
+
+  // Migration phase-hook stages (test seam, like Snapshot's
+  // MidAcquireHook): the migrator calls the hook at every protocol
+  // boundary so tests can interleave queries and updates at each phase.
+  static constexpr int kMigHookCopyBegin = 0;  // descriptor live, pre-copy
+  static constexpr int kMigHookCopied = 1;     // bulk copy applied to dst
+  static constexpr int kMigHookSealed = 2;     // range sealed, pre-replay
+  static constexpr int kMigHookReplayed = 3;   // dirty log applied to dst
+  static constexpr int kMigHookFlipped = 4;    // new map installed+stamped
+  static constexpr int kMigHookOpened = 5;     // phase kDone, range live
+  static constexpr int kMigHookCleaned = 6;    // source copies retired
+  using MigrationHook = void (*)(void* ctx, int stage);
 
   ShardedSet() : ShardedSet(shard_detail::default_keyspace()) {}
   explicit ShardedSet(Key keyspace) {
@@ -178,9 +251,40 @@ class ShardedSet {
     }
   }
 
+  ~ShardedSet() {
+    if constexpr (Adaptive) {
+      // Only the current map is owned here; every replaced map was
+      // EBR-retired at its flip and the reclaimer frees it independently
+      // (its deleter does not touch this set).
+      delete map_.load(std::memory_order_acquire);
+    }
+  }
+
   static constexpr int num_shards() { return NumShards; }
   static constexpr SnapshotPolicy snapshot_policy() { return Policy; }
   static constexpr ReadPath read_path() { return RPath; }
+  static constexpr bool adaptive_rebalancing() { return Adaptive; }
+
+  // True when updates go through a flat-combining protocol somewhere on
+  // their path (the registry's capability report); forwarded from the
+  // inner so "Sharded16-Combined-*" reports what its shards actually do.
+  static constexpr bool combines_updates() {
+    if constexpr (requires {
+                    { Inner::combines_updates() } -> std::convertible_to<bool>;
+                  }) {
+      return Inner::combines_updates();
+    } else {
+      return false;
+    }
+  }
+
+  // True when composite reads lease shared cuts at the FOREST level (the
+  // "-RC" read path).  Deliberately not forwarded from the inner: shard
+  // queries bypass the inner's own read combining entirely (they read
+  // pinned roots), so only the forest-level path describes this type.
+  static constexpr bool combines_reads() {
+    return RPath == ReadPath::kCombined;
+  }
 
   // Introspection hook picked up by the API layer (SetModel::consistency):
   // cross-shard composite queries linearize only under kLinearizable.
@@ -210,7 +314,9 @@ class ShardedSet {
   // --- updates: exactly one shard, one EBR-guarded BAT update -------------
 
   bool insert(Key k) {
-    if constexpr (RPath == ReadPath::kCombined) {
+    if constexpr (Adaptive) {
+      return adaptive_update(k, /*is_insert=*/true);
+    } else if constexpr (RPath == ReadPath::kCombined) {
       const bool r = regime_update(k, /*is_insert=*/true);
       bump_update_seq(k);
       return r;
@@ -219,7 +325,9 @@ class ShardedSet {
     }
   }
   bool erase(Key k) {
-    if constexpr (RPath == ReadPath::kCombined) {
+    if constexpr (Adaptive) {
+      return adaptive_update(k, /*is_insert=*/false);
+    } else if constexpr (RPath == ReadPath::kCombined) {
       const bool r = regime_update(k, /*is_insert=*/false);
       bump_update_seq(k);
       return r;
@@ -230,7 +338,22 @@ class ShardedSet {
 
   // --- queries -------------------------------------------------------------
 
-  bool contains(Key k) const { return shard(k).contains(k); }
+  bool contains(Key k) const {
+    if constexpr (Adaptive) {
+      // Route by the current map, under a guard so the map stays live.
+      // Correct in every migration phase: before the flip the old map
+      // routes a migrating key to its source shard, which stays
+      // authoritative until the range is sealed and replayed; after the
+      // flip the new map routes to the destination, which the replay made
+      // identical to the source at the moment updates were still blocked —
+      // at the flip instant both routes give the same answer.
+      EbrGuard g;
+      const ShardMap* m = map_.load(std::memory_order_acquire);
+      return shards_[m->shard_of(k)]->contains(k);
+    } else {
+      return shard(k).contains(k);
+    }
+  }
 
   // All composite queries pin one Snapshot so their per-shard reads merge a
   // single consistent forest (see the header comment for the guarantee).
@@ -312,21 +435,49 @@ class ShardedSet {
         // cut — and every update whose response preceded this call was
         // stamped <= epoch_, so it resolves inside it.
         epoch_ = s.epoch_->fetch_add(1, std::memory_order_seq_cst);
+        if constexpr (Adaptive) {
+          // Resolve the map the same way the roots are resolved: newest
+          // table whose flip was stamped at or before the cut.  Any
+          // (map@E, roots@E) pair is consistent — the owned-range
+          // restriction below hides a destination's pre-flip copies and
+          // a source's post-flip leftovers on every cut.
+          map_ = s.resolve_map_epoch(
+              s.map_.load(std::memory_order_seq_cst), epoch_);
+        }
+      } else if constexpr (Adaptive) {
+        map_ = s.map_.load(std::memory_order_acquire);
       }
-      for (int i = 0; i < NumShards; ++i) {
-        if (hook != nullptr) hook(hook_ctx, i);
-        const V* r = s.shards_[i]->root_version_unsafe();
-        if constexpr (Policy == SnapshotPolicy::kLinearizable) {
-          // The resolve walk helps finalize stamps, so it must mint them
-          // in the forest's mode: unique forests (kCombined) may never
-          // let a load-based helper duplicate a fetch_add-minted stamp.
-          if constexpr (RPath == ReadPath::kCombined) {
-            r = version_resolve_epoch_unique<Aug>(r, epoch_, *s.epoch_);
-          } else {
-            r = version_resolve_epoch<Aug>(r, epoch_, *s.epoch_);
+      for (;;) {
+        for (int i = 0; i < NumShards; ++i) {
+          if (hook != nullptr) hook(hook_ctx, i);
+          const V* r = s.shards_[i]->root_version_unsafe();
+          if constexpr (Policy == SnapshotPolicy::kLinearizable) {
+            // The resolve walk helps finalize stamps, so it must mint them
+            // in the forest's mode: unique forests (kCombined) may never
+            // let a load-based helper duplicate a fetch_add-minted stamp.
+            if constexpr (RPath == ReadPath::kCombined) {
+              r = version_resolve_epoch_unique<Aug>(r, epoch_, *s.epoch_);
+            } else {
+              r = version_resolve_epoch<Aug>(r, epoch_, *s.epoch_);
+            }
+          }
+          roots_[i] = r;
+        }
+        if constexpr (Adaptive && Policy == SnapshotPolicy::kQuiescent) {
+          // A quiescent cut must not pair an OLD map with roots pinned
+          // after a newer map's post-flip cleanup (the cleanup's erases
+          // would make the migrated range vanish from both shards under
+          // the old restriction).  Re-check the map after pinning: flips
+          // are rare, the loop virtually never retries, and the guard
+          // held across the whole loop rules out map-pointer ABA (a
+          // retired map cannot be freed and reallocated while we run).
+          const ShardMap* cur = s.map_.load(std::memory_order_acquire);
+          if (cur != map_) {
+            map_ = cur;
+            continue;
           }
         }
-        roots_[i] = r;
+        break;
       }
     }
     Snapshot(const Snapshot&) = delete;
@@ -346,16 +497,28 @@ class ShardedSet {
     std::int64_t size() const { return prefix()[NumShards]; }
 
     // Keys <= k: the full shards below k's shard, by prefix sum, plus one
-    // rank descent inside it.
+    // rank descent inside it.  Adaptive shards subtract the keys below
+    // their owned range — the routing map guarantees k itself lies inside
+    // the owning shard's range, so only the low side needs the clamp.
     std::int64_t rank(Key k) const {
-      const int s = owner_->shard_of(k);
-      return prefix()[s] + version_rank<Aug>(roots_[s], k);
+      const int s = snap_shard_of(k);
+      if constexpr (Adaptive) {
+        return prefix()[s] + version_rank<Aug>(roots_[s], k) -
+               version_rank_less<Aug>(roots_[s], map_->lo_of(s));
+      } else {
+        return prefix()[s] + version_rank<Aug>(roots_[s], k);
+      }
     }
 
     // Keys < k.
     std::int64_t rank_less(Key k) const {
-      const int s = owner_->shard_of(k);
-      return prefix()[s] + version_rank_less<Aug>(roots_[s], k);
+      const int s = snap_shard_of(k);
+      if constexpr (Adaptive) {
+        return prefix()[s] + version_rank_less<Aug>(roots_[s], k) -
+               version_rank_less<Aug>(roots_[s], map_->lo_of(s));
+      } else {
+        return prefix()[s] + version_rank_less<Aug>(roots_[s], k);
+      }
     }
 
     // i-th smallest key overall (1-based): binary-search the prefix sums
@@ -365,7 +528,12 @@ class ShardedSet {
       if (i < 1 || i > pre[NumShards]) return std::nullopt;
       const auto it = std::lower_bound(pre.begin() + 1, pre.end(), i);
       const int s = static_cast<int>(it - pre.begin()) - 1;
-      return version_select<Aug>(roots_[s], i - pre[s]);
+      if constexpr (Adaptive) {
+        return version_select_in_range<Aug>(roots_[s], map_->lo_of(s),
+                                            map_->hi_of(s), i - pre[s]);
+      } else {
+        return version_select<Aug>(roots_[s], i - pre[s]);
+      }
     }
 
     // Keys in [lo, hi]: two composite rank descents (the middle shards are
@@ -382,18 +550,33 @@ class ShardedSet {
     // range cache memoizes (shard_range_agg) under ReadPath::kCombined.
     AugValue range_aggregate(Key lo, Key hi) const {
       if (lo > hi) return Aug::sentinel();
-      const int slo = owner_->shard_of(lo);
-      const int shi = owner_->shard_of(hi);
+      const int slo = snap_shard_of(lo);
+      const int shi = snap_shard_of(hi);
       if (slo == shi) {
         return shard_range_agg(slo, lo, hi);
       }
-      AugValue acc = shard_range_agg(slo, lo, kMaxUserKey);
-      for (int s = slo + 1; s < shi; ++s) {
-        acc = Aug::combine(acc, roots_[s]->aug);
+      if constexpr (Adaptive) {
+        // Middle shards lose their O(1) root-aug shortcut: the root
+        // aggregates EVERYTHING in the tree, stale out-of-range copies
+        // included, so each middle shard answers its owned range with a
+        // restricted descent (cached under kCombined like the boundary
+        // pieces — the (lo, hi) pair is part of the cache entry, so a
+        // map change re-keys the lookup by itself).
+        AugValue acc = shard_range_agg(slo, lo, map_->hi_of(slo));
+        for (int s = slo + 1; s < shi; ++s) {
+          acc = Aug::combine(
+              acc, shard_range_agg(s, map_->lo_of(s), map_->hi_of(s)));
+        }
+        return Aug::combine(acc, shard_range_agg(shi, map_->lo_of(shi), hi));
+      } else {
+        AugValue acc = shard_range_agg(slo, lo, kMaxUserKey);
+        for (int s = slo + 1; s < shi; ++s) {
+          acc = Aug::combine(acc, roots_[s]->aug);
+        }
+        return Aug::combine(
+            acc,
+            shard_range_agg(shi, std::numeric_limits<Key>::min(), hi));
       }
-      return Aug::combine(
-          acc,
-          shard_range_agg(shi, std::numeric_limits<Key>::min(), hi));
     }
 
     // i-th smallest key within [lo, hi] (1-based), all on this snapshot.
@@ -406,30 +589,53 @@ class ShardedSet {
     }
 
     // Largest key <= k: try k's shard, then walk down over empty-below
-    // shards (usually zero or one extra probe).
+    // shards (usually zero or one extra probe).  Adaptive shards clamp
+    // the probe to the owned range and reject answers below it — a stale
+    // out-of-range copy must neither be returned nor end the walk.
     std::optional<Key> floor(Key k) const {
-      for (int s = owner_->shard_of(k); s >= 0; --s) {
-        if (auto r = version_floor<Aug>(roots_[s], k)) return r;
+      for (int s = snap_shard_of(k); s >= 0; --s) {
+        if constexpr (Adaptive) {
+          const Key cap = std::min(k, map_->hi_of(s));
+          if (auto r = version_floor<Aug>(roots_[s], cap)) {
+            if (*r >= map_->lo_of(s)) return r;
+          }
+        } else {
+          if (auto r = version_floor<Aug>(roots_[s], k)) return r;
+        }
       }
       return std::nullopt;
     }
 
     // Smallest key >= k.
     std::optional<Key> ceiling(Key k) const {
-      for (int s = owner_->shard_of(k); s < NumShards; ++s) {
-        if (auto r = version_ceiling<Aug>(roots_[s], k)) return r;
+      for (int s = snap_shard_of(k); s < NumShards; ++s) {
+        if constexpr (Adaptive) {
+          const Key flo = std::max(k, map_->lo_of(s));
+          if (auto r = version_ceiling<Aug>(roots_[s], flo)) {
+            if (*r <= map_->hi_of(s)) return r;
+          }
+        } else {
+          if (auto r = version_ceiling<Aug>(roots_[s], k)) return r;
+        }
       }
       return std::nullopt;
     }
 
     // All keys in [lo, hi] in order; shard contiguity makes simple
-    // per-shard concatenation sorted.
+    // per-shard concatenation sorted (adaptive shards clamp each
+    // collection to the shard's owned slice of [lo, hi]).
     std::vector<Key> keys(Key lo = std::numeric_limits<Key>::min(),
                           Key hi = kMaxUserKey,
                           std::size_t limit = 0) const {
       std::vector<Key> out;
       for (int s = 0; s < NumShards; ++s) {
-        version_collect_range<Aug>(roots_[s], lo, hi, &out, limit);
+        if constexpr (Adaptive) {
+          const Key l = std::max(lo, map_->lo_of(s));
+          const Key h = std::min(hi, map_->hi_of(s));
+          if (l <= h) version_collect_range<Aug>(roots_[s], l, h, &out, limit);
+        } else {
+          version_collect_range<Aug>(roots_[s], lo, hi, &out, limit);
+        }
         if (limit > 0 && out.size() >= limit) break;
       }
       return out;
@@ -438,7 +644,18 @@ class ShardedSet {
     const V* root(int s) const { return roots_[s]; }
 
    private:
-    const V* root_of(Key k) const { return roots_[owner_->shard_of(k)]; }
+    // Shard routing on THIS snapshot's view: the pinned map under
+    // Adaptive (the live map may flip while the snapshot is open), the
+    // static division otherwise.
+    int snap_shard_of(Key k) const {
+      if constexpr (Adaptive) {
+        return map_->shard_of(k);
+      } else {
+        return owner_->shard_of(k);
+      }
+    }
+
+    const V* root_of(Key k) const { return roots_[snap_shard_of(k)]; }
 
     // Lazy prefix-sum materialization, once per snapshot, guarded by a
     // plain flag.  The documented contract is single-threaded use of one
@@ -462,9 +679,21 @@ class ShardedSet {
       // path keeps its cut in SnapLease and never lands here;
       // linearizable snapshots must re-pin fresh roots per read, and
       // this loop is the cheapest possible refill for them.
+      // Adaptive shards count only their owned range: a migration's
+      // bulk-copied destination keys (pre-flip) and not-yet-cleaned
+      // source keys (post-flip) both live outside their shard's owned
+      // range under the pinned map, so version_size would double-count
+      // exactly them.  The restricted count is a rank descent per end
+      // instead of one aug load — the adaptivity tax on rank/select.
       prefix_[0] = 0;
       for (int i = 0; i < NumShards; ++i) {
-        prefix_[i + 1] = prefix_[i] + version_size<Aug>(roots_[i]);
+        if constexpr (Adaptive) {
+          prefix_[i + 1] =
+              prefix_[i] + version_range_count<Aug>(roots_[i], map_->lo_of(i),
+                                                    map_->hi_of(i));
+        } else {
+          prefix_[i + 1] = prefix_[i] + version_size<Aug>(roots_[i]);
+        }
       }
       prefix_ready_ = true;
       return prefix_;
@@ -497,6 +726,9 @@ class ShardedSet {
     EbrGuard guard_;
     const ShardedSet* owner_;
     std::uint64_t epoch_ = 0;
+    // The boundary table this snapshot routes and restricts by (Adaptive
+    // only; null otherwise).  Pinned by guard_ like the roots.
+    const ShardMap* map_ = nullptr;
     std::array<const V*, NumShards> roots_;
     mutable bool prefix_ready_ = false;
     mutable std::array<std::int64_t, NumShards + 1> prefix_;
@@ -522,9 +754,547 @@ class ShardedSet {
     shards_[0]->warm_up(expected_updates);
   }
 
+  // --- adaptive rebalancing API (Adaptive forests only) --------------------
+
+  // Master switch for the piggybacked controller; the protocol machinery
+  // stays armed (rebalance_once still works), only the policy goes quiet.
+  void set_adaptive_enabled(bool on)
+    requires(Adaptive)
+  {
+    mig_.enabled.store(on, std::memory_order_relaxed);
+  }
+  // A shard migrates when its update rate exceeds `f` times the mean
+  // (f > 1; default 2.0).
+  void set_rebalance_hot_factor(double f)
+    requires(Adaptive)
+  {
+    if (f > 1.0) mig_.hot_factor.store(f, std::memory_order_relaxed);
+  }
+  // Updates between two policy checks on one thread (default 2048).
+  void set_rebalance_check_period(std::uint32_t p)
+    requires(Adaptive)
+  {
+    if (p > 0) mig_.check_period.store(p, std::memory_order_relaxed);
+  }
+
+  // Test seam, mirroring Snapshot::MidAcquireHook: called at every
+  // protocol boundary of a migration (the kMigHook* stages) so
+  // deterministic interleaving tests can run queries and updates against
+  // each phase.  Always invoked outside any EBR guard.
+  void set_migration_hook(MigrationHook h, void* ctx)
+    requires(Adaptive)
+  {
+    mig_.hook_ctx.store(ctx, std::memory_order_relaxed);
+    mig_.hook.store(h, std::memory_order_release);
+  }
+
+  // Force one boundary move from shard `src` to an ADJACENT `dst` now
+  // (tests and benchmarks; the policy path takes the same route).  False
+  // when another migration is in flight, the pair is not adjacent, or src
+  // owns too few keys to split.
+  bool rebalance_once(int src, int dst)
+    requires(Adaptive)
+  {
+    if (src < 0 || src >= NumShards || dst < 0 || dst >= NumShards ||
+        (dst != src - 1 && dst != src + 1)) {
+      return false;
+    }
+    if (mig_.active.exchange(true, std::memory_order_acq_rel)) return false;
+    const bool moved = migrate(src, dst);
+    mig_.active.store(false, std::memory_order_release);
+    return moved;
+  }
+
+  // Current map generation (1 + completed boundary moves); tests use it
+  // to await convergence without poking at counters.
+  std::uint64_t map_generation() const
+    requires(Adaptive)
+  {
+    EbrGuard g;
+    return map_.load(std::memory_order_acquire)->gen;
+  }
+
  private:
   Inner& shard(Key k) { return *shards_[shard_of(k)]; }
   const Inner& shard(Key k) const { return *shards_[shard_of(k)]; }
+
+  // --- the epoch-cut migration protocol (Adaptive only) --------------------
+  //
+  // One migration descriptor per forest (moves are serialized by the
+  // `active` gate).  The phase word is the updater-facing contract:
+  //
+  //   kIdle  — no move in flight; updates route by the current map.
+  //   kCopy  — keys in [lo, hi] are being bulk-copied from src to dst on
+  //            an epoch cut E0; updates in the range still apply to src
+  //            (the map has not flipped) but ALSO log their key, so the
+  //            migrator can replay what the copy missed.
+  //   kSeal  — updates in the range park OUTSIDE their guard until the
+  //            phase moves on; one grace period after sealing, the range
+  //            is quiescent and the log replay makes dst exact.
+  //   kDone  — the new map is published; updates route by it (to dst).
+  //
+  // Every phase store is seq_cst and followed by mig_quiesce() where the
+  // protocol needs "all updates that saw the previous phase have
+  // finished".  The barrier is a dedicated per-thread in-flight array —
+  // NOT the EBR guard — because an update can stall in the combining
+  // buffer's publish-wait for whole scheduler quanta when the host is
+  // oversubscribed, and parking there inside an EBR guard would pin the
+  // reclamation epoch for every structure in the process.  An updater
+  // announces its slot (seq_cst) BEFORE reading the phase, so an updater
+  // observed idle either finished its operation or started a new one
+  // that already sees the new phase.
+  struct Migration {
+    enum Phase : int { kIdle = 0, kCopy = 1, kSeal = 2, kDone = 3 };
+    // Dirty-key log capacity.  An overflow is not an error: the replay
+    // falls back to a full diff of the migrated range (src truth vs. the
+    // bulk copy), it just stops being proportional to the update rate.
+    static constexpr std::uint32_t kLogCap = 1u << 13;
+    // Don't split shards with fewer owned keys than this.
+    static constexpr std::int64_t kMinSplitKeys = 16;
+
+    std::atomic<int> phase{kIdle};
+    std::atomic<Key> lo{0};
+    std::atomic<Key> hi{0};
+    std::atomic<std::uint32_t> log_n{0};
+    std::atomic<bool> log_overflow{false};
+    std::array<std::atomic<Key>, kLogCap> log{};
+    // Per-thread in-flight update announcements: (op_seq << 1) | active.
+    // The op counter makes every announcement distinct, so the migrator's
+    // quiesce wait is a simple "changed or idle" check with no ABA.
+    std::array<Padded<std::atomic<std::uint64_t>>, kMaxThreads> inflight{};
+    // Single-migrator gate; also what serializes map flips.
+    std::atomic<bool> active{false};
+    // Per-shard update-rate estimators (sampled 1-in-8 by note_update).
+    std::array<Padded<std::atomic<std::uint64_t>>, NumShards> rate{};
+    // Policy knobs; see the public setters.
+    std::atomic<bool> enabled{true};
+    std::atomic<std::uint32_t> check_period{2048};
+    std::atomic<double> hot_factor{2.0};
+    // Test seam (set_migration_hook).
+    std::atomic<MigrationHook> hook{nullptr};
+    std::atomic<void*> hook_ctx{nullptr};
+  };
+  struct NoMigration {};
+
+  // Announce / retire one in-flight update in this thread's slot.  The
+  // announce is seq_cst and MUST precede the phase read (that ordering is
+  // the whole barrier: an updater that read the old phase is visibly
+  // active to a migrator that scans after its phase store).
+  std::atomic<std::uint64_t>& announce_inflight()
+    requires(Adaptive)
+  {
+    thread_local std::uint64_t op_seq = 0;
+    auto& slot = mig_.inflight[ThreadRegistry::thread_id()].value;
+    slot.store((++op_seq << 1) | 1, std::memory_order_seq_cst);
+    return slot;
+  }
+  static void retire_inflight(std::atomic<std::uint64_t>& slot) {
+    // Release: the tree op's response and any dirty-log entry are
+    // published before the slot reads idle.
+    slot.store(slot.load(std::memory_order_relaxed) & ~1ULL,
+               std::memory_order_release);
+  }
+
+  // Waits until every update announced before the call has finished.
+  // Caller must have its own slot idle (the piggybacked migrator calls
+  // this from note_update, after its update retired).  A slot that
+  // changes at all has moved on: either to idle, or to a NEW operation —
+  // which read the phase after our caller's phase store.
+  void mig_quiesce()
+    requires(Adaptive)
+  {
+    const int n = ThreadRegistry::instance().max_id();
+    for (int t = 0; t < n && t < kMaxThreads; ++t) {
+      auto& s = mig_.inflight[t].value;
+      const std::uint64_t v = s.load(std::memory_order_seq_cst);
+      if ((v & 1) == 0) continue;
+      while (s.load(std::memory_order_acquire) == v) {
+        std::this_thread::yield();
+      }
+    }
+  }
+
+  // Apply one update through the migration protocol.  The in-flight slot
+  // stays announced across the whole routed operation (including any
+  // combining-buffer wait) so the migrator's quiesce orders against us; a
+  // sealed-range updater parks with its slot retired (spinning announced
+  // would deadlock the migrator's own quiesce).
+  bool adaptive_update(Key k, bool is_insert)
+    requires(Adaptive)
+  {
+    bool r;
+    int routed;
+    for (;;) {
+      auto& slot = announce_inflight();
+      const int ph = mig_.phase.load(std::memory_order_seq_cst);
+      // lo/hi are stored before the kCopy phase store, and reading
+      // kCopy (or later) seq_cst synchronizes with it, so in-range
+      // checks under an active phase never see stale bounds.
+      if (ph == Migration::kCopy &&
+          k >= mig_.lo.load(std::memory_order_relaxed) &&
+          k <= mig_.hi.load(std::memory_order_relaxed)) {
+        // Double-route: the map still sends k to the source shard, and
+        // the dirty log tells the migrator to re-examine k at replay.
+        r = route_update(k, is_insert, &routed);
+        mig_log(k);
+        retire_inflight(slot);
+        break;
+      }
+      if (ph != Migration::kSeal ||
+          k < mig_.lo.load(std::memory_order_relaxed) ||
+          k > mig_.hi.load(std::memory_order_relaxed)) {
+        r = route_update(k, is_insert, &routed);
+        retire_inflight(slot);
+        break;
+      }
+      // Sealed and in range: wait for the flip, then re-run the protocol
+      // (the retry will see kDone/kIdle and route by the NEW map — the
+      // map store precedes the phase store, both seq_cst).
+      retire_inflight(slot);
+      while (mig_.phase.load(std::memory_order_seq_cst) == Migration::kSeal) {
+        std::this_thread::yield();
+      }
+    }
+    note_update(routed);
+    return r;
+  }
+
+  // The guard is scoped to the map dereference only: the inner operation
+  // may wait on the shard's combining buffer, and that wait must pin
+  // neither the reclamation epoch nor anything else — the in-flight slot
+  // already covers the protocol ordering.
+  bool route_update(Key k, bool is_insert, int* routed)
+    requires(Adaptive)
+  {
+    int s;
+    {
+      EbrGuard g;
+      s = map_.load(std::memory_order_acquire)->shard_of(k);
+    }
+    *routed = s;
+    Inner& t = *shards_[s];
+    return is_insert ? t.insert(k) : t.erase(k);
+  }
+
+  // Caller's in-flight slot is announced: the sealing quiesce is what
+  // makes the log entry visible to the replay (the release stores below
+  // happen before the slot retires, which the migrator waits for).
+  void mig_log(Key k)
+    requires(Adaptive)
+  {
+    const std::uint32_t i =
+        mig_.log_n.fetch_add(1, std::memory_order_acq_rel);
+    if (i < Migration::kLogCap) {
+      mig_.log[i].store(k, std::memory_order_release);
+    } else {
+      mig_.log_overflow.store(true, std::memory_order_release);
+    }
+    Counters::bump(Counter::kShardDoubleRoutes);
+  }
+
+  // Rate tracking + piggybacked policy check; called after every update,
+  // outside any guard.  Sampling 1-in-8 keeps the hot shard's rate
+  // counter off the update fast path's critical line budget.
+  void note_update(int shard)
+    requires(Adaptive)
+  {
+    thread_local std::uint32_t ops = 0;
+    thread_local std::uint32_t until_check = 1;
+    if ((++ops & 7u) == 0) {
+      // `shard` is the index the op actually routed to — no second map
+      // lookup (and no guard) needed here.
+      mig_.rate[shard]->fetch_add(8, std::memory_order_relaxed);
+    }
+    if (--until_check == 0) {
+      until_check = mig_.check_period.load(std::memory_order_relaxed);
+      maybe_rebalance();
+    }
+  }
+
+  // The RebalanceController's local rule: if the hottest shard's rate
+  // exceeds hot_factor x mean and an adjacent neighbor runs at half the
+  // hot rate or less, shed half of the hot shard's keys to that neighbor.
+  // Piggybacked on updater threads — no coordinator thread; the `active`
+  // gate makes losers skip, not wait.
+  void maybe_rebalance()
+    requires(Adaptive)
+  {
+    if (!mig_.enabled.load(std::memory_order_relaxed)) return;
+    if (mig_.active.exchange(true, std::memory_order_acq_rel)) return;
+    std::array<std::uint64_t, NumShards> r;
+    std::uint64_t total = 0;
+    int hot = 0;
+    for (int i = 0; i < NumShards; ++i) {
+      r[i] = mig_.rate[i]->load(std::memory_order_relaxed);
+      total += r[i];
+      if (r[i] > r[hot]) hot = i;
+    }
+    // Need enough samples for the mean to be meaningful.
+    if (total >= static_cast<std::uint64_t>(NumShards) * 64) {
+      const std::uint64_t mean =
+          std::max<std::uint64_t>(total / NumShards, 1);
+      Counters::bump(Counter::kShardImbalanceSumMilli,
+                     r[hot] * 1000 / mean);
+      Counters::bump(Counter::kShardImbalanceSamples);
+      if (NumShards > 1 && static_cast<double>(r[hot]) >
+                               mig_.hot_factor.load(
+                                   std::memory_order_relaxed) *
+                                   static_cast<double>(mean)) {
+        // Cooler adjacent neighbor, the cooler of the two if both
+        // qualify; require it to run at <= half the hot rate so the move
+        // cannot ping-pong.
+        int dst = -1;
+        if (hot > 0 && r[hot - 1] * 2 <= r[hot]) dst = hot - 1;
+        if (hot < NumShards - 1 && r[hot + 1] * 2 <= r[hot] &&
+            (dst < 0 || r[hot + 1] < r[dst])) {
+          dst = hot + 1;
+        }
+        if (dst >= 0 && migrate(hot, dst)) {
+          for (auto& c : mig_.rate) c->store(0, std::memory_order_relaxed);
+        }
+      }
+      // Decay so the estimator tracks the CURRENT distribution: without
+      // it a workload shift would be invisible behind accumulated history.
+      if (total > (1u << 16)) {
+        for (auto& c : mig_.rate) {
+          c->store(c->load(std::memory_order_relaxed) / 2,
+                   std::memory_order_relaxed);
+        }
+      }
+    }
+    mig_.active.store(false, std::memory_order_release);
+  }
+
+  // Resolve shard s's root to the newest version stamped at or before
+  // epoch e, in the forest's stamp-minting mode.  Caller holds a guard.
+  const V* resolve_root(int s, std::uint64_t e) const
+    requires(Adaptive)
+  {
+    const V* r = shards_[s]->root_version_unsafe();
+    if constexpr (RPath == ReadPath::kCombined) {
+      return version_resolve_epoch_unique<Aug>(r, e, *epoch_);
+    } else {
+      return version_resolve_epoch<Aug>(r, e, *epoch_);
+    }
+  }
+
+  // Walk the map chain to the newest table whose flip was stamped at or
+  // before epoch e.  The same deferred-timestamp argument as the root
+  // history walk (version_resolve_epoch) makes the prev dereference safe
+  // under the caller's guard: the migrator finalizes flip_epoch BEFORE
+  // retiring the replaced table, so a stamp observed > e was minted after
+  // this snapshot's fetch_add — which means the retire of the table we
+  // are stepping to happened after our guard was announced, and EBR keeps
+  // it live for us.  A table we accept is never walked past.
+  const ShardMap* resolve_map_epoch(const ShardMap* m, std::uint64_t e) const
+    requires(Adaptive)
+  {
+    for (;;) {
+      std::uint64_t fe = m->flip_epoch.load(std::memory_order_acquire);
+      if (fe == kEpochTbd) {
+        std::uint64_t want = epoch_->load(std::memory_order_seq_cst);
+        if (m->flip_epoch.compare_exchange_strong(fe, want,
+                                                  std::memory_order_acq_rel,
+                                                  std::memory_order_acquire)) {
+          fe = want;
+        }
+        // On failure fe holds the winner's stamp.
+      }
+      if (fe <= e || m->prev == nullptr) return m;
+      m = m->prev;
+    }
+  }
+
+  void run_hook(int stage)
+    requires(Adaptive)
+  {
+    const MigrationHook h = mig_.hook.load(std::memory_order_acquire);
+    if (h != nullptr) h(mig_.hook_ctx.load(std::memory_order_acquire), stage);
+  }
+
+  // Chunked bulk apply of one-sided ops (keys sorted) to shard s; the
+  // same concurrent-solo path in-flight combined batches already share.
+  void apply_bulk(int s, const std::vector<Key>& keys, bool is_insert)
+    requires(Adaptive)
+  {
+    static constexpr std::size_t kChunk = 512;
+    std::array<BatchOp, kChunk> ops;
+    std::size_t i = 0;
+    while (i < keys.size()) {
+      const std::size_t n = std::min(kChunk, keys.size() - i);
+      for (std::size_t j = 0; j < n; ++j) {
+        ops[j] = BatchOp{keys[i + j], is_insert, false, 0};
+      }
+      shards_[s]->apply_batch(ops.data(), static_cast<int>(n));
+      i += n;
+    }
+  }
+
+  // One boundary move, start to finish.  Caller holds mig_.active and no
+  // EBR guard.  Numbered comments match docs/ARCHITECTURE.md.
+  bool migrate(int src, int dst)
+    requires(Adaptive)
+  {
+    // Only the migrator swaps the map and we ARE the migrator (active
+    // gate), so the current map cannot be retired under us mid-function.
+    const ShardMap* m = map_.load(std::memory_order_acquire);
+    const Key slo = m->lo_of(src);
+    const Key shi = m->hi_of(src);
+    if (slo > shi) return false;  // empty owned range, nothing to split
+
+    // (0) Median-key split: shed the half of src's OWNED KEYS adjacent
+    // to dst.  Splitting by keys rather than by keyspace midpoint is
+    // what makes convergence geometric under any skew — each move halves
+    // the hot shard's population no matter how the keys are distributed.
+    Key cut_lo, cut_hi, new_upper;
+    {
+      EbrGuard g;
+      const V* r = shards_[src]->root_version_unsafe();
+      const std::int64_t cnt = version_range_count<Aug>(r, slo, shi);
+      if (cnt < Migration::kMinSplitKeys) return false;
+      const std::int64_t half = cnt / 2;
+      std::optional<Key> med;
+      if (dst == src + 1) {
+        med = version_select_in_range<Aug>(r, slo, shi, cnt - half);
+        if (!med || *med >= shi) return false;
+        cut_lo = *med + 1;
+        cut_hi = shi;
+      } else {
+        med = version_select_in_range<Aug>(r, slo, shi, half);
+        if (!med || *med >= shi) return false;
+        cut_lo = slo;
+        cut_hi = *med;
+      }
+      new_upper = *med;
+    }
+
+    // (1) Arm the descriptor and open the copy phase.  After the grace
+    // period, every update that saw kIdle has finished (its effect is
+    // stamped before the E0 cut below); every later in-range update logs.
+    mig_.log_n.store(0, std::memory_order_relaxed);
+    mig_.log_overflow.store(false, std::memory_order_relaxed);
+    mig_.lo.store(cut_lo, std::memory_order_relaxed);
+    mig_.hi.store(cut_hi, std::memory_order_relaxed);
+    mig_.phase.store(Migration::kCopy, std::memory_order_seq_cst);
+    run_hook(kMigHookCopyBegin);
+    mig_quiesce();
+
+    // (2) Bulk copy on a linearizable cut: collect src's range at E0 and
+    // insert it into dst.  dst's copies stay invisible until the flip
+    // (the pre-flip maps exclude the range from dst's owned slice).
+    std::vector<Key> moved;
+    {
+      EbrGuard g;
+      const std::uint64_t e0 =
+          epoch_->fetch_add(1, std::memory_order_seq_cst);
+      version_collect_range<Aug>(resolve_root(src, e0), cut_lo, cut_hi,
+                                 &moved, 0);
+    }
+    apply_bulk(dst, moved, /*is_insert=*/true);
+    run_hook(kMigHookCopied);
+
+    // (3) Seal the range.  After the grace period no update is inside
+    // the protocol with an un-replayed effect: kIdle-observers finished
+    // before E0, kCopy-observers finished now with their keys logged,
+    // and new in-range updates park until kDone.
+    mig_.phase.store(Migration::kSeal, std::memory_order_seq_cst);
+    mig_quiesce();
+    run_hook(kMigHookSealed);
+
+    // (4) Replay the dirty log against src's sealed truth, making dst's
+    // copy of the range exact.
+    replay_log(src, dst, cut_lo, cut_hi);
+    run_hook(kMigHookReplayed);
+
+    // (5) Flip: publish the new boundary table, then finalize its epoch
+    // stamp BEFORE retiring the old table — the order resolve_map_epoch's
+    // safety argument rests on.
+    {
+      ShardMap* nm = new ShardMap;
+      nm->upper = m->upper;
+      nm->upper[dst == src + 1 ? src : dst] = new_upper;
+      nm->gen = m->gen + 1;
+      nm->prev = m;
+      map_.store(nm, std::memory_order_seq_cst);
+      std::uint64_t expect = kEpochTbd;
+      nm->flip_epoch.compare_exchange_strong(
+          expect, epoch_->load(std::memory_order_seq_cst),
+          std::memory_order_acq_rel, std::memory_order_acquire);
+      if constexpr (RPath == ReadPath::kCombined) {
+        // Range-cache entries are keyed by (range, root stamp) and old
+        // owned ranges never recur with different contents, so survivors
+        // cannot validate wrongly — the sweep just reclaims ways early.
+        rc_.cache.invalidate_all();
+        rc_.update_seq->fetch_add(1, std::memory_order_release);
+      }
+      ebr_retire(const_cast<ShardMap*>(m));
+    }
+    run_hook(kMigHookFlipped);
+
+    // (6) Open the range: parked updates resume and route by the new map
+    // (they read the phase seq_cst, which orders the map store before
+    // their map load).
+    mig_.phase.store(Migration::kDone, std::memory_order_seq_cst);
+    run_hook(kMigHookOpened);
+
+    // (7) Retire the moved keys' source copies.  No updater can apply a
+    // range key to src after the flip (kSeal blocked it, kDone routes it
+    // to dst), so one collection is complete; the erases are invisible
+    // to every cut because post-flip maps exclude the range from src.
+    std::vector<Key> stale;
+    {
+      EbrGuard g;
+      version_collect_range<Aug>(shards_[src]->root_version_unsafe(), cut_lo,
+                                 cut_hi, &stale, 0);
+    }
+    apply_bulk(src, stale, /*is_insert=*/false);
+    mig_.phase.store(Migration::kIdle, std::memory_order_seq_cst);
+    run_hook(kMigHookCleaned);
+
+    Counters::bump(Counter::kShardMigrations);
+    Counters::bump(Counter::kShardMigratedKeys, moved.size());
+    return true;
+  }
+
+  // The sealed-range reconciliation: on a fresh cut E1 (>= the sealed
+  // truth), re-examine every logged key against src and mirror its state
+  // into dst.  On log overflow, diff the whole range instead.
+  void replay_log(int src, int dst, Key lo, Key hi)
+    requires(Adaptive)
+  {
+    std::vector<Key> ins, del;
+    {
+      EbrGuard g;
+      const std::uint64_t e1 =
+          epoch_->fetch_add(1, std::memory_order_seq_cst);
+      const V* sr = resolve_root(src, e1);
+      if (mig_.log_overflow.load(std::memory_order_acquire)) {
+        std::vector<Key> truth, copied;
+        version_collect_range<Aug>(sr, lo, hi, &truth, 0);
+        version_collect_range<Aug>(shards_[dst]->root_version_unsafe(), lo,
+                                   hi, &copied, 0);
+        std::set_difference(truth.begin(), truth.end(), copied.begin(),
+                            copied.end(), std::back_inserter(ins));
+        std::set_difference(copied.begin(), copied.end(), truth.begin(),
+                            truth.end(), std::back_inserter(del));
+      } else {
+        const std::uint32_t n =
+            std::min(mig_.log_n.load(std::memory_order_acquire),
+                     Migration::kLogCap);
+        std::vector<Key> keys(n);
+        for (std::uint32_t i = 0; i < n; ++i) {
+          keys[i] = mig_.log[i].load(std::memory_order_acquire);
+        }
+        std::sort(keys.begin(), keys.end());
+        keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+        for (Key k : keys) {
+          (version_contains<Aug>(sr, k) ? ins : del).push_back(k);
+        }
+      }
+    }
+    apply_bulk(dst, ins, /*is_insert=*/true);
+    apply_bulk(dst, del, /*is_insert=*/false);
+  }
 
   // Release edge pairing with leased_read's acquire load: everything the
   // completed update wrote (its root CAS included) is visible to any
@@ -759,7 +1529,12 @@ class ShardedSet {
   ReadRes direct_read(typename RBuffer::Op op, Key a, Key b) const
     requires(RPath == ReadPath::kCombined)
   {
-    if constexpr (Policy == SnapshotPolicy::kQuiescent) {
+    // Snapshot leasing is off under Adaptive: the lease caches unrestricted
+    // per-shard sizes keyed by root stamps alone, and a map flip changes a
+    // shard's owned-range size without moving its root — the lease would
+    // validate a cut the flip invalidated.  Adaptive read bursts still
+    // amortize through the combiner's shared Snapshot (which pins the map).
+    if constexpr (Policy == SnapshotPolicy::kQuiescent && !Adaptive) {
       if (lease_reads_enabled()) return leased_read(op, a, b);
     }
     const Snapshot snap(*this);
@@ -1045,6 +1820,22 @@ class ShardedSet {
     // Overflow-free ceiling: keyspace_ may be as large as kInf2, where
     // `(keyspace_ + NumShards - 1)` would wrap.
     width_ = keyspace_ / NumShards + (keyspace_ % NumShards != 0 ? 1 : 0);
+    if constexpr (Adaptive) {
+      // Fresh generation-1 map matching the static division; the plain
+      // delete is covered by this function's single-threaded contract
+      // (constructor, or key_range_hint on an empty idle set).  The stamp
+      // is 1 (not kEpochTbd): the epoch counter starts at 1, so every cut
+      // accepts the initial table — it has no predecessor to resolve to.
+      ShardMap* nm = new ShardMap;
+      for (int i = 0; i + 1 < NumShards; ++i) {
+        nm->upper[i] = width_ * (i + 1) - 1;
+      }
+      nm->upper[NumShards - 1] = kMaxUserKey;
+      nm->flip_epoch.store(1, std::memory_order_relaxed);
+      const ShardMap* old = map_.load(std::memory_order_relaxed);
+      map_.store(nm, std::memory_order_release);
+      delete old;
+    }
   }
 
   Key keyspace_ = 0;
@@ -1081,6 +1872,16 @@ class ShardedSet {
   [[no_unique_address]] mutable std::conditional_t<
       RPath == ReadPath::kCombined, ReadCombining, NoReadCombining>
       rc_;
+  // The current boundary table (Adaptive; null otherwise).  Swapped only
+  // by the migrator holding mig_.active; loaded under an EBR guard by
+  // everyone else (replaced tables are EBR-retired).  Mutable for the
+  // same reason as epoch_: const composite queries help-stamp flip_epoch
+  // through it.
+  mutable std::atomic<const ShardMap*> map_{nullptr};
+  // Migration descriptor + controller state (Adaptive only; ~64 KiB,
+  // dominated by the dirty-key log).
+  [[no_unique_address]] std::conditional_t<Adaptive, Migration, NoMigration>
+      mig_;
   // Padded: shards are updated by different threads; their tree roots must
   // not share cache lines.
   std::array<Padded<Inner>, NumShards> shards_;
@@ -1104,5 +1905,12 @@ extern template class ShardedSet<Bat<SizeAug>, 4, SnapshotPolicy::kQuiescent,
 extern template class ShardedSet<Bat<SizeAug>, 4,
                                  SnapshotPolicy::kLinearizable,
                                  ReadPath::kCombined>;
+// Adaptive variants over a plain BAT (test-only; the registry's "-Adapt"
+// forest wraps CombinedSet shards, see combine/combined_set.h).
+extern template class ShardedSet<Bat<SizeAug>, 4, SnapshotPolicy::kQuiescent,
+                                 ReadPath::kDirect, true>;
+extern template class ShardedSet<Bat<SizeAug>, 4,
+                                 SnapshotPolicy::kLinearizable,
+                                 ReadPath::kDirect, true>;
 
 }  // namespace cbat

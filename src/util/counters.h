@@ -45,6 +45,16 @@ enum class Counter : int {
   kLeaseCuts,
   kLeaseBatchedReads,
   kLeaseSoloReads,
+  // Adaptive shard layer (src/shard/): completed boundary migrations, keys
+  // bulk-moved by them, updates that were double-routed into the dirty
+  // log while a copy was in flight, and the controller's imbalance
+  // samples (hottest shard's rate over the mean, in milli-units, summed —
+  // divide by the sample count for the average the bench reports).
+  kShardMigrations,
+  kShardMigratedKeys,
+  kShardDoubleRoutes,
+  kShardImbalanceSumMilli,
+  kShardImbalanceSamples,
   kNumCounters
 };
 

@@ -9,7 +9,9 @@
 #include "api/ordered_set.h"
 #include "bench/adapters.h"
 #include "chromatic/chromatic_set.h"
+#include "combine/combining_buffer.h"
 #include "core/bat_tree.h"
+#include "shard/aggregate_cache.h"
 
 namespace cbat {
 namespace {
@@ -241,6 +243,112 @@ TEST(Registry, UserStructuresCanBeRegistered) {
   // Not part of the comparison sweep unless opted in.
   const auto cmp = reg.comparison_set();
   EXPECT_EQ(std::find(cmp.begin(), cmp.end(), "test-only-RefSet"), cmp.end());
+}
+
+// --- ISSUE 7: capability introspection + the configure() front door -------
+
+TEST(Registry, StructureInfoIsDerivedFromTheType) {
+  auto& reg = StructureRegistry::instance();
+  EXPECT_FALSE(reg.info("nope").has_value());
+
+  const struct {
+    const char* name;
+    bool ranked, combining, read_combining, adaptive;
+    int shards;
+    api::Consistency consistency;
+  } cases[] = {
+      {"BAT", true, false, false, false, 1, api::Consistency::kLinearizable},
+      {"ChromaticSet", false, false, false, false, 1,
+       api::Consistency::kQuiescentlyConsistent},
+      // Combined-BAT's composite reads ride the buffer too (SizeAug fits
+      // the wide response slot), so it reports read_combining.
+      {"Combined-BAT", true, true, true, false, 1,
+       api::Consistency::kLinearizable},
+      {"Sharded16-BAT", true, false, false, false, 16,
+       api::Consistency::kQuiescentlyConsistent},
+      {"Sharded16-Combined-BAT-RC", true, true, true, false, 16,
+       api::Consistency::kQuiescentlyConsistent},
+      {"Sharded16-Combined-BAT-Adapt", true, true, false, true, 16,
+       api::Consistency::kQuiescentlyConsistent},
+      {"Sharded16-Combined-BAT-Adapt-Lin", true, true, false, true, 16,
+       api::Consistency::kLinearizable},
+  };
+  for (const auto& c : cases) {
+    const auto info = reg.info(c.name);
+    ASSERT_TRUE(info.has_value()) << c.name;
+    EXPECT_EQ(info->ranked, c.ranked) << c.name;
+    EXPECT_EQ(info->combining, c.combining) << c.name;
+    EXPECT_EQ(info->read_combining, c.read_combining) << c.name;
+    EXPECT_EQ(info->adaptive, c.adaptive) << c.name;
+    EXPECT_EQ(info->shards, c.shards) << c.name;
+    EXPECT_EQ(info->consistency, c.consistency) << c.name;
+    // info() must agree with the instance the registry hands out.
+    auto set = reg.create(c.name);
+    ASSERT_NE(set, nullptr) << c.name;
+    EXPECT_EQ(set->supports_order_statistics(), c.ranked) << c.name;
+    EXPECT_EQ(set->consistency(), c.consistency) << c.name;
+  }
+}
+
+TEST(Registry, ConfigureReportsExactlyWhatItApplied) {
+  auto& reg = StructureRegistry::instance();
+  // An empty options bag trivially succeeds everywhere.
+  EXPECT_TRUE(reg.create("BAT")->configure({}));
+  EXPECT_TRUE(reg.create("ChromaticSet")->configure({}));
+
+  // key_range_hint: honored by shard forests while empty, refused by
+  // single trees and by populated forests — and configure() must say so.
+  api::SetOptions hint;
+  hint.key_range_hint = 10000;
+  EXPECT_FALSE(reg.create("BAT")->configure(hint));
+  auto forest = reg.create("Sharded16-BAT");
+  EXPECT_TRUE(forest->configure(hint));
+  EXPECT_TRUE(forest->insert(5));
+  EXPECT_FALSE(forest->configure(hint)) << "populated forest must refuse";
+
+  // Rebalancing fields: only the "-Adapt" forests can honor them.
+  api::SetOptions adapt;
+  adapt.adaptive_rebalance = false;
+  adapt.rebalance_hot_factor = 3.0;
+  adapt.rebalance_check_period = 1024;
+  EXPECT_FALSE(reg.create("Sharded16-Combined-BAT")->configure(adapt));
+  EXPECT_TRUE(reg.create("Sharded16-Combined-BAT-Adapt")->configure(adapt));
+
+  // A mixed bag applies what it can but still reports the refusal.
+  api::SetOptions mixed;
+  mixed.key_range_hint = 4096;
+  mixed.adaptive_rebalance = true;
+  EXPECT_FALSE(reg.create("Sharded16-BAT")->configure(mixed));
+  EXPECT_TRUE(reg.create("Sharded16-Combined-BAT-Adapt")->configure(mixed));
+}
+
+TEST(Registry, ConfigureDrivesTheProcessWideKnobs) {
+  const int saved_batch = combine_max_batch();
+  const bool saved_cache = aggregate_cache_enabled();
+  const bool saved_lease = lease_reads_enabled();
+  const std::uint64_t saved_timeout = Bat<SizeAug>::delegation_timeout();
+
+  auto set = bench::make_structure("Sharded16-Combined-BAT");
+  api::SetOptions o;
+  o.combine_max_batch = saved_batch + 3;
+  o.aggregate_cache = !saved_cache;
+  o.lease_reads = !saved_lease;
+  o.delegation_timeout = saved_timeout + 17;
+  EXPECT_TRUE(set->configure(o));
+  EXPECT_EQ(combine_max_batch(), saved_batch + 3);
+  EXPECT_EQ(aggregate_cache_enabled(), !saved_cache);
+  EXPECT_EQ(lease_reads_enabled(), !saved_lease);
+  EXPECT_EQ(Bat<SizeAug>::delegation_timeout(), saved_timeout + 17);
+
+  // The deprecated wrappers still work and observe the same slots.
+  set_combine_max_batch(saved_batch);
+  set_aggregate_cache(saved_cache);
+  set_lease_reads(saved_lease);
+  Bat<SizeAug>::set_delegation_timeout(saved_timeout);
+  BatDel<SizeAug>::set_delegation_timeout(saved_timeout);
+  BatEagerDel<SizeAug>::set_delegation_timeout(saved_timeout);
+  EXPECT_EQ(combine_max_batch(), saved_batch);
+  EXPECT_EQ(Bat<SizeAug>::delegation_timeout(), saved_timeout);
 }
 
 // The concept layer must agree with the adapter layer about each tree.

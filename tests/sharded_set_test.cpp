@@ -459,5 +459,149 @@ TEST(ShardedSetRC, RegimeRoutedUpdatesStayExact) {
             static_cast<std::int64_t>(oracle.s.size()));
 }
 
+// --- adaptive rebalancing (ISSUE 7: epoch-cut key migration) --------------
+
+using Adapt4 = ShardedSet<CombinedSet<Bat<SizeAug>>, 4,
+                          SnapshotPolicy::kQuiescent, ReadPath::kDirect,
+                          /*Adaptive=*/true>;
+
+// rebalance_once argument guards: non-adjacent pairs, out-of-bounds
+// indices, and shards too small to split must all refuse without
+// touching the map.
+TEST(AdaptiveShardedSet, RebalanceOnceRefusesBadMoves) {
+  Adapt4 set(4096);
+  set.set_adaptive_enabled(false);
+  EXPECT_EQ(set.map_generation(), 1u);
+  EXPECT_FALSE(set.rebalance_once(0, 2)) << "not adjacent";
+  EXPECT_FALSE(set.rebalance_once(0, 0)) << "not adjacent";
+  EXPECT_FALSE(set.rebalance_once(-1, 0));
+  EXPECT_FALSE(set.rebalance_once(3, 4));
+  EXPECT_FALSE(set.rebalance_once(0, 1)) << "empty shard: nothing to split";
+  for (Key k = 0; k < 10; ++k) ASSERT_TRUE(set.insert(k));
+  EXPECT_FALSE(set.rebalance_once(0, 1)) << "below the split minimum";
+  EXPECT_EQ(set.map_generation(), 1u);
+  for (Key k = 10; k < 64; ++k) ASSERT_TRUE(set.insert(k));
+  const auto before = Counters::snapshot();
+  EXPECT_TRUE(set.rebalance_once(0, 1));
+  EXPECT_EQ(set.map_generation(), 2u);
+  const auto after = Counters::snapshot();
+  EXPECT_EQ(after[Counter::kShardMigrations],
+            before[Counter::kShardMigrations] + 1);
+  EXPECT_GT(after[Counter::kShardMigratedKeys],
+            before[Counter::kShardMigratedKeys]);
+  // Membership survived the move.
+  for (Key k = 0; k < 64; ++k) EXPECT_TRUE(set.contains(k)) << k;
+  EXPECT_EQ(set.size(), 64);
+}
+
+// The piggybacked policy alone (no explicit rebalance_once) must detect a
+// single-shard hotspot and move its keys: all traffic lands in shard 0,
+// so the update-rate counters cross the hot-factor threshold within a
+// few check periods.
+TEST(AdaptiveShardedSet, PolicyMigratesUnderSkewedUpdates) {
+  Adapt4 set(4096);
+  set.set_rebalance_check_period(128);
+  Xoshiro256 rng(5);
+  for (int step = 0; step < 20000 && set.map_generation() == 1; ++step) {
+    const Key k = static_cast<Key>(rng.below(1024));  // shard 0 only
+    if (rng.below(2) == 0) {
+      set.insert(k);
+    } else {
+      set.erase(k);
+    }
+  }
+  EXPECT_GT(set.map_generation(), 1u)
+      << "a pure shard-0 workload must trigger the controller";
+}
+
+// Migrations racing real update/reader traffic (TSan-gated in CI, with
+// the quiescent-consistency suite).  Updaters own disjoint key classes so
+// the final contents replay deterministically; a migrator thread
+// ping-pongs the 0/1 boundary through entire protocol cycles while the
+// policy (short check period) is free to add its own moves; a reader
+// checks snapshot-internal consistency throughout.  After quiescence the
+// forest must equal the sequential oracle exactly — every key exactly
+// once, wherever it lives now.
+TEST(AdaptiveShardedSet, MigrateUnderLoadStaysExact) {
+  constexpr Key kKeyspace = 1 << 12;
+  constexpr int kUpdaters = 2;
+  constexpr int kOpsPerThread = 12000;
+  Adapt4 set(kKeyspace);
+  set.set_rebalance_check_period(256);
+  std::atomic<bool> stop{false};
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kUpdaters; ++t) {
+    threads.emplace_back([&set, t] {
+      // Zipf-ish skew by construction: three quarters of the traffic in
+      // the lowest shard, so migrations have something to chase.
+      Xoshiro256 rng(77 + t);
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const std::uint64_t span = rng.below(4) == 0 ? kKeyspace : 1024;
+        const Key k =
+            static_cast<Key>(rng.below(span) / kUpdaters * kUpdaters) + t;
+        if (rng.below(3) == 0) {
+          set.erase(k);
+        } else {
+          set.insert(k);
+        }
+      }
+    });
+  }
+  std::thread migrator([&set, &stop] {
+    while (!stop.load(std::memory_order_acquire)) {
+      set.rebalance_once(0, 1);
+      set.rebalance_once(1, 0);
+      set.rebalance_once(1, 2);
+      set.rebalance_once(2, 1);
+    }
+  });
+  std::thread reader([&set, &stop] {
+    while (!stop.load(std::memory_order_acquire)) {
+      Adapt4::Snapshot snap(set);
+      const std::int64_t n = snap.size();
+      ASSERT_GE(n, 0);
+      ASSERT_EQ(snap.range_count(std::numeric_limits<Key>::min(),
+                                 kMaxUserKey),
+                n);
+      if (n > 0) {
+        const auto mid = snap.select((n + 1) / 2);
+        ASSERT_TRUE(mid.has_value());
+        ASSERT_EQ(snap.rank(*mid), (n + 1) / 2);
+        ASSERT_TRUE(snap.contains(*mid));
+      }
+    }
+  });
+  for (auto& t : threads) t.join();
+  stop.store(true, std::memory_order_release);
+  migrator.join();
+  reader.join();
+
+  EXPECT_GT(set.map_generation(), 1u) << "no migration ever completed";
+
+  std::set<Key> oracle;
+  for (int t = 0; t < kUpdaters; ++t) {
+    Xoshiro256 rng(77 + t);
+    for (int i = 0; i < kOpsPerThread; ++i) {
+      const std::uint64_t span = rng.below(4) == 0 ? kKeyspace : 1024;
+      const Key k =
+          static_cast<Key>(rng.below(span) / kUpdaters * kUpdaters) + t;
+      if (rng.below(3) == 0) {
+        oracle.erase(k);
+      } else {
+        oracle.insert(k);
+      }
+    }
+  }
+  ASSERT_EQ(set.size(), static_cast<std::int64_t>(oracle.size()));
+  const auto keys = Adapt4::Snapshot(set).keys();
+  ASSERT_EQ(keys.size(), oracle.size());
+  EXPECT_TRUE(std::equal(keys.begin(), keys.end(), oracle.begin()));
+  // Per-key sweep through the post-migration routing map.
+  for (Key k = 0; k < 1024; ++k) {
+    ASSERT_EQ(set.contains(k), oracle.count(k) > 0) << k;
+  }
+}
+
 }  // namespace
 }  // namespace cbat
