@@ -29,6 +29,7 @@ int main() {
   for (int s = 0; s < 3; ++s) {
     sensors.emplace_back([&, s] {
       cbat::Xoshiro256 rng(7 + s);
+      // relaxed: stop polling; one late iteration is harmless.
       while (!stop.load(std::memory_order_relaxed)) {
         const Key v = static_cast<Key>(rng.below(1000000));
         readings.insert(v);

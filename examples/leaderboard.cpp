@@ -37,6 +37,7 @@ int main() {
   for (int w = 0; w < kWriters; ++w) {
     writers.emplace_back([&, w] {
       cbat::Xoshiro256 rng(100 + w);
+      // relaxed: stop polling; one late iteration is harmless.
       while (!stop.load(std::memory_order_relaxed)) {
         const Key k = static_cast<Key>(rng.below(kMaxScore));
         if (rng.below(2) == 0) {
@@ -44,6 +45,7 @@ int main() {
         } else {
           scores.erase(k);
         }
+        // relaxed: statistics counter, read after join().
         updates.fetch_add(1, std::memory_order_relaxed);
       }
     });

@@ -44,6 +44,7 @@ int main() {
   for (int t = 0; t < 3; ++t) {
     tellers.emplace_back([&, t] {
       cbat::Xoshiro256 rng(31 + t);
+      // relaxed: stop polling; one late iteration is harmless.
       while (!stop.load(std::memory_order_relaxed)) {
         const int from = static_cast<int>(rng.below(kAccounts));
         const int to = static_cast<int>(rng.below(kAccounts));
@@ -68,6 +69,7 @@ int main() {
         }
         bank.insert(encode(from, from_bal - amount));
         bank.insert(encode(to, to_bal + amount));
+        // relaxed: statistics counter, read after join().
         transfers.fetch_add(1, std::memory_order_relaxed);
       }
     });

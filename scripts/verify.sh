@@ -5,6 +5,9 @@
 #   scripts/verify.sh                # full suite
 #   scripts/verify.sh --unit         # fast unit tests only (ctest -L unit)
 #   scripts/verify.sh --filter RE    # tests matching RE only (ctest -R RE)
+#   scripts/verify.sh --lint         # repo lints only, no build (markdown
+#                                    # hygiene + the concurrency lint and
+#                                    # its fixture self-test)
 #
 # Environment (used by the CI matrix; all optional):
 #   BUILD_DIR          build tree                       (default: build)
@@ -17,6 +20,13 @@
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" == "--lint" ]]; then
+  python3 scripts/check_markdown.py
+  python3 scripts/check_concurrency.py
+  python3 scripts/check_concurrency.py --self-test
+  exit 0
+fi
 
 LABEL_ARGS=()
 if [[ "${1:-}" == "--unit" ]]; then
@@ -48,9 +58,12 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure --no-tests=error \
 # Docs hygiene (the clang-format analogue for markdown): lint plus an
 # internal-link/anchor check over README.md, ROADMAP.md, and docs/ —
 # docs/ARCHITECTURE.md's consistency table is part of the verified
-# surface.  Skipped only where python3 is unavailable; CI always has it.
+# surface.  The concurrency lint rides along (it also runs as a ctest
+# entry, but a --filter run can skip that).  Skipped only where python3
+# is unavailable; CI always has it.
 if command -v python3 >/dev/null 2>&1; then
   python3 scripts/check_markdown.py
+  python3 scripts/check_concurrency.py
 else
-  echo "verify.sh: python3 not found; skipping scripts/check_markdown.py" >&2
+  echo "verify.sh: python3 not found; skipping repo lints" >&2
 fi

@@ -17,6 +17,7 @@
 // README.md.
 #pragma once
 
+#include <cmath>
 #include <concepts>
 #include <cstddef>
 #include <cstdint>
@@ -288,18 +289,26 @@ class SetModel final : public AbstractOrderedSet {
       }
     }
     if (o.rebalance_hot_factor.has_value()) {
-      if constexpr (requires(T t, double f) {
-                      t.set_rebalance_hot_factor(f);
-                    }) {
+      // The policy compares against hot_factor * mean rate: NaN/inf never
+      // triggers, <= 1.0 makes every shard "hot" — both malformed.
+      if (!std::isfinite(*o.rebalance_hot_factor) ||
+          *o.rebalance_hot_factor <= 1.0) {
+        ok = false;
+      } else if constexpr (requires(T t, double f) {
+                             t.set_rebalance_hot_factor(f);
+                           }) {
         t_.set_rebalance_hot_factor(*o.rebalance_hot_factor);
       } else {
         ok = false;
       }
     }
     if (o.rebalance_check_period.has_value()) {
-      if constexpr (requires(T t, std::uint32_t p) {
-                      t.set_rebalance_check_period(p);
-                    }) {
+      // Zero would ask for a policy check on every update.
+      if (*o.rebalance_check_period == 0) {
+        ok = false;
+      } else if constexpr (requires(T t, std::uint32_t p) {
+                             t.set_rebalance_check_period(p);
+                           }) {
         t_.set_rebalance_check_period(*o.rebalance_check_period);
       } else {
         ok = false;

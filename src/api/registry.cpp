@@ -168,7 +168,14 @@ bool AbstractOrderedSet::configure(const SetOptions& o) {
     ok = set_key_range_hint(*o.key_range_hint) && ok;
   }
   if (o.combine_max_batch.has_value()) {
-    set_combine_max_batch(*o.combine_max_batch);
+    // 1 is the documented "disable combining" setting; zero or negative
+    // batches are malformed (a drain that may apply nothing would wedge
+    // waiters), so reject them instead of storing a nonsense knob.
+    if (*o.combine_max_batch <= 0) {
+      ok = false;
+    } else {
+      set_combine_max_batch(*o.combine_max_batch);
+    }
   }
   if (o.delegation_timeout.has_value()) {
     // The spin budget is a per-instantiation static on BatTree; apply it

@@ -47,6 +47,8 @@ void worker(SetAdapter& set, const RunConfig& cfg, int tid,
   while (!go.load(std::memory_order_acquire)) {
     std::this_thread::yield();
   }
+  // relaxed: stop polling; one late iteration is harmless and the join
+  // below synchronizes the final counts.
   while (!stop.load(std::memory_order_relaxed)) {
     const auto op = stream.next_op();
     const bool sample = --sample_countdown == 0;
@@ -130,6 +132,8 @@ void prefill(SetAdapter& set, const Workload& w, int threads,
           std::max<std::int64_t>(target / threads, 1)));
       Xoshiro256 rng(seed + 1000003ULL * static_cast<std::uint64_t>(t));
       while (true) {
+        // relaxed: batch ticket counter; only uniqueness matters and
+        // fetch_add is atomic at any ordering.
         const std::int64_t got =
             claimed.fetch_add(kBatch, std::memory_order_relaxed);
         if (got >= target) break;
@@ -188,6 +192,7 @@ RunResult run_on(SetAdapter& set, const RunConfig& cfg) {
   const auto t0 = Clock::now();
   go.store(true, std::memory_order_release);
   std::this_thread::sleep_for(std::chrono::milliseconds(cfg.duration_ms));
+  // relaxed: see the worker's stop poll; join() publishes everything.
   stop.store(true, std::memory_order_relaxed);
   for (auto& t : ts) t.join();
   const double secs =

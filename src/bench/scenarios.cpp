@@ -1126,6 +1126,8 @@ inline void do_not_optimize(const T& v) {
 #if defined(__GNUC__) || defined(__clang__)
   asm volatile("" : : "g"(&v) : "memory");
 #else
+  // volatile: deliberate optimizer barrier (fallback sink for compilers
+  // without the asm escape above); never read, never raced.
   static volatile const void* sink;
   sink = &v;
 #endif

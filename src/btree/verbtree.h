@@ -50,6 +50,8 @@ class VerBTree {
 
  private:
   struct NodeBase {
+    // shared: per-node seqlock word; the payload it versions shares the
+    // line on purpose so a read is one cache fill.
     std::atomic<std::uint64_t> version{0};  // seqlock; odd = write-locked
     const bool leaf;
     explicit NodeBase(bool is_leaf) : leaf(is_leaf) {}
@@ -66,6 +68,7 @@ class VerBTree {
     Leaf() : NodeBase(true) {}
     int count = 0;
     Key keys[kLeafCap];
+    // shared: per-leaf link, same tradeoff as the version word above.
     std::atomic<Leaf*> next{nullptr};
   };
 
@@ -86,6 +89,7 @@ class VerBTree {
   // version; retries internally on conflicts.
   const Leaf* locate_leaf(Key k, std::uint64_t* leaf_version) const;
 
+  // shared: read-mostly root pointer; replaced only under root_mu_.
   std::atomic<NodeBase*> root_;
   Leaf* head_leaf_;       // leftmost leaf, never replaced
   std::mutex root_mu_;    // serializes root replacement only

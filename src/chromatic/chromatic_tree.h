@@ -82,6 +82,7 @@ class ChromaticTree {
       Node* n = stack.back();
       stack.pop_back();
       if (!n->is_leaf()) {
+        // relaxed: destructor walk at quiescence; no concurrent access.
         stack.push_back(n->child[0].load(std::memory_order_relaxed));
         stack.push_back(n->child[1].load(std::memory_order_relaxed));
       }
@@ -138,6 +139,8 @@ class ChromaticTree {
       const Key ik = std::max(k, s.l->key);
       Node* ni = (k < s.l->key) ? mk_internal(ik, iw, nl, lc)
                                 : mk_internal(ik, iw, lc, nl);
+      // relaxed: ni is a fresh node private to this thread; the SCX
+      // below publishes it with release ordering.
       Policy::init_internal_for_insert(
           ni, ni->child[0].load(std::memory_order_relaxed),
           ni->child[1].load(std::memory_order_relaxed));
@@ -239,11 +242,13 @@ class ChromaticTree {
   // Full structural check (sequential; call at quiescence).
   InvariantReport check_invariants() const {
     InvariantReport r;
+    // relaxed: sequential checker, called at quiescence per the contract.
     // The real tree lives under root.left; its paths must share one sum.
     Node* top = root_->child[0].load(std::memory_order_relaxed);
     std::int64_t expected_sum = -1;
     check_rec(top, std::numeric_limits<Key>::min(), kInf1, 0, 0, expected_sum,
               r, /*parent_weight=*/1);
+    // relaxed: same quiescence contract as above.
     Node* right = root_->child[1].load(std::memory_order_relaxed);
     if (!right->is_leaf() || right->key != kInf2) r.leaf_oriented = false;
     return r;
@@ -551,6 +556,7 @@ class ChromaticTree {
       if (!is_sentinel_key(n->key)) ++acc;
       return;
     }
+    // relaxed: sequential helper for the quiescent checker above.
     count_leaves(n->child[0].load(std::memory_order_relaxed), acc);
     count_leaves(n->child[1].load(std::memory_order_relaxed), acc);
   }
@@ -572,6 +578,7 @@ class ChromaticTree {
       if (sum != expected_sum) r.path_sums_equal = false;
       return;
     }
+    // relaxed: sequential helper for the quiescent checker above.
     Node* c0 = n->child[0].load(std::memory_order_relaxed);
     Node* c1 = n->child[1].load(std::memory_order_relaxed);
     if (c0 == nullptr || c1 == nullptr) {

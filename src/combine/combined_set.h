@@ -158,7 +158,9 @@ class CombinedSet {
     return inner_.range_collect(lo, hi, limit);
   }
 
-  const V* root_version_unsafe() const { return inner_.root_version_unsafe(); }
+  const V* root_version_unsafe() const CBAT_REQUIRES(ebr_capability) {
+    return inner_.root_version_unsafe();
+  }
 
   // Epoch-source passthrough for the shard layer's linearizable snapshots:
   // a combined batch stamps once per root CAS, exactly like a solo update,
@@ -255,11 +257,13 @@ class CombinedSet {
     return s;
   }
 
-  // Caller holds the buffer lock; releases it after the update batch.
+  // Caller holds the buffer lock; releases it after the update batch
+  // (CBAT_RELEASE, not REQUIRES: the lock is gone when this returns).
   // Applies {own request} + drained updates as one sorted batch, then
   // answers drained reads against one pinned root — lock-free, their
   // slots are already claimed; returns the own request's result.
-  bool run_combiner(Key k, bool is_insert, int max_batch) {
+  bool run_combiner(Key k, bool is_insert, int max_batch)
+      CBAT_RELEASE(buffer_) {
     BatchScratch& s = batch_scratch();
     s.ops.clear();
     s.num_reads = 0;
@@ -277,7 +281,7 @@ class CombinedSet {
   // Caller holds the buffer lock; releases it after the update batch.  A
   // waiter that inherited the lock: its request is already published, so
   // the batch is just the drained slots.
-  void run_combiner_drained_only(int max_batch) {
+  void run_combiner_drained_only(int max_batch) CBAT_RELEASE(buffer_) {
     BatchScratch& s = batch_scratch();
     s.ops.clear();
     s.num_reads = 0;
@@ -287,7 +291,7 @@ class CombinedSet {
     answer_drained_reads(s);
   }
 
-  void collect_drained(BatchScratch& s, int max) {
+  void collect_drained(BatchScratch& s, int max) CBAT_REQUIRES(buffer_) {
     const int n = buffer_.drain(
         s.reqs, std::min(max, static_cast<int>(Buffer::num_slots())));
     for (int i = 0; i < n; ++i) {
@@ -300,7 +304,7 @@ class CombinedSet {
     }
   }
 
-  void apply_and_complete(BatchScratch& s) {
+  void apply_and_complete(BatchScratch& s) CBAT_REQUIRES(buffer_) {
     // Stable: requests on the same key keep their publication-scan order.
     std::stable_sort(
         s.ops.begin(), s.ops.end(),
@@ -393,7 +397,7 @@ class CombinedSet {
   // batch.  Then pins one root and answers the drained reads plus the own
   // request against it, lock-free.
   ReadRes run_query_combiner(typename Buffer::Op op, Key a, Key b,
-                             int max_batch)
+                             int max_batch) CBAT_RELEASE(buffer_)
     requires kCombineReads
   {
     BatchScratch& s = batch_scratch();
@@ -426,6 +430,7 @@ class CombinedSet {
   // One pinned root answers any composite op; caller holds an EBR guard
   // covering `r`.
   static ReadRes answer_on(const V* r, typename Buffer::Op op, Key a, Key b)
+      CBAT_REQUIRES(ebr_capability)
     requires kCombineReads
   {
     switch (op) {

@@ -43,10 +43,15 @@
 // slot_state, try_retract, take_result, take_read_result) are safe from
 // any thread at any time; a
 // publisher may only retract/consume the slot index its own publish
-// returned.  Combiner-side calls (drain, complete, and reads through the
-// drain cursor) require holding the buffer lock (try_lock/unlock); the
-// lock's acquire/release edges are what order the cursor and the claimed
-// payloads.  Blocking behavior: nothing here waits unboundedly — publish
+// returned.  drain() — the only touch of the scan cursor — requires
+// holding the buffer lock (try_lock/unlock); the lock's acquire/release
+// edges are what order the cursor and the claimed payloads.
+// complete/complete_read require a *claimed* (kTaken) slot, not the lock:
+// read combiners answer their drained batch after unlocking, and the
+// claim CAS's acquire edge is what hands the payload over.  The buffer is
+// itself a thread-safety capability (util/thread_annotations.h): under
+// -DCBAT_THREAD_SAFETY=ON, calling drain() without the lock is a compile
+// error.  Blocking behavior: nothing here waits unboundedly — publish
 // is one bounded slot sweep, drain one bounded sweep gated by the
 // in-flight count, and the only spinning (a publisher awaiting kDone)
 // lives in CombinedSet, bounded by set_delegation_timeout with
@@ -59,6 +64,7 @@
 
 #include "util/keys.h"
 #include "util/padded.h"
+#include "util/thread_annotations.h"
 #include "util/thread_registry.h"
 
 namespace cbat {
@@ -69,13 +75,17 @@ namespace cbat {
 // parameter so benchmarks (combine_sweep) can sweep it on the registry's
 // type-erased structures.
 inline std::atomic<int>& combine_max_batch_slot() {
+  // shared: process-wide knob, read-mostly; padding buys nothing.
   static std::atomic<int> v{64};
   return v;
 }
 inline int combine_max_batch() {
+  // relaxed: tuning knob; any recently-written value is acceptable and no
+  // other data is published through it.
   return combine_max_batch_slot().load(std::memory_order_relaxed);
 }
 inline void set_combine_max_batch(int n) {
+  // relaxed: see combine_max_batch().
   combine_max_batch_slot().store(n, std::memory_order_relaxed);
 }
 
@@ -85,18 +95,21 @@ inline void set_combine_max_batch(int n) {
 // either way — the knob exists so the read_burst benchmark can attribute
 // the leasing win separately from the aggregate caches.
 inline std::atomic<bool>& lease_reads_slot() {
+  // shared: process-wide knob, read-mostly; padding buys nothing.
   static std::atomic<bool> v{true};
   return v;
 }
 inline bool lease_reads_enabled() {
+  // relaxed: tuning knob; see combine_max_batch().
   return lease_reads_slot().load(std::memory_order_relaxed);
 }
 inline void set_lease_reads(bool on) {
+  // relaxed: tuning knob; see combine_max_batch().
   lease_reads_slot().store(on, std::memory_order_relaxed);
 }
 
 template <int NumSlots = 64>
-class CombiningBuffer {
+class CBAT_CAPABILITY("combining buffer") CombiningBuffer {
   static_assert(NumSlots >= 1);
 
  public:
@@ -138,11 +151,15 @@ class CombiningBuffer {
 
   // --- combiner election --------------------------------------------------
 
-  bool try_lock() {
+  bool try_lock() CBAT_TRY_ACQUIRE(true) {
+    // relaxed: contention pre-check only; the exchange below is the
+    // acquiring access, and a stale false merely skips one election try.
     return !ctl_->lock.load(std::memory_order_relaxed) &&
            !ctl_->lock.exchange(true, std::memory_order_acquire);
   }
-  void unlock() { ctl_->lock.store(false, std::memory_order_release); }
+  void unlock() CBAT_RELEASE() {
+    ctl_->lock.store(false, std::memory_order_release);
+  }
 
   // --- publisher side -----------------------------------------------------
 
@@ -172,6 +189,8 @@ class CombiningBuffer {
     if (slots_[slot]->state.compare_exchange_strong(
             expected, kEmpty, std::memory_order_acq_rel,
             std::memory_order_acquire)) {
+      // relaxed: the count is an approximate gate (see drain); no data is
+      // published through it.
       in_flight_->fetch_sub(1, std::memory_order_relaxed);
       return true;
     }
@@ -183,6 +202,7 @@ class CombiningBuffer {
     Slot& s = *slots_[slot];
     const bool r = s.result;
     s.state.store(kEmpty, std::memory_order_release);
+    // relaxed: approximate gate (see drain).
     in_flight_->fetch_sub(1, std::memory_order_relaxed);
     return r;
   }
@@ -192,6 +212,7 @@ class CombiningBuffer {
     Slot& s = *slots_[slot];
     const ReadResult r{s.value, s.ok};
     s.state.store(kEmpty, std::memory_order_release);
+    // relaxed: approximate gate (see drain).
     in_flight_->fetch_sub(1, std::memory_order_relaxed);
     return r;
   }
@@ -203,7 +224,11 @@ class CombiningBuffer {
   // by the combiner lock): with `max` below NumSlots a fixed scan origin
   // would claim high-index slots systematically last, starving publishers
   // whose thread id maps there into full-budget spins and solo fallback.
-  int drain(DrainedRequest* out, int max) {
+  // REQUIRES(this): the scan cursor lives in ctl_ and is ordered only by
+  // the combiner lock's acquire/release edges, so the lock obligation is
+  // carried on the function (TSA cannot guard a nested-struct member
+  // through the enclosing buffer's capability).
+  int drain(DrainedRequest* out, int max) CBAT_REQUIRES(this) {
     // Uncontended fast path: nothing published, nothing awaiting pickup —
     // skip the O(NumSlots) cache-line sweep that would otherwise tax
     // every solo-speed update.  The count is incremented before a slot
@@ -225,6 +250,8 @@ class CombiningBuffer {
       const int idx = (start + i) % NumSlots;
       Slot& s = *slots_[idx];
       std::uint32_t expected = kPending;
+      // relaxed: cheap pre-check; the claiming CAS's acquire edge is what
+      // hands the payload over.
       if (s.state.load(std::memory_order_relaxed) == kPending &&
           s.state.compare_exchange_strong(expected, kTaken,
                                           std::memory_order_acquire,
@@ -269,6 +296,7 @@ class CombiningBuffer {
     for (int i = 0; i < NumSlots; ++i) {
       Slot& s = *slots_[(start + i) % NumSlots];
       std::uint32_t expected = kEmpty;
+      // relaxed: cheap pre-check; the claiming CAS provides the edge.
       if (s.state.load(std::memory_order_relaxed) == kEmpty &&
           s.state.compare_exchange_strong(expected, kWriting,
                                           std::memory_order_acquire,
@@ -276,6 +304,8 @@ class CombiningBuffer {
         // Count the request before it becomes visible: a kPending slot
         // always has a nonzero count, so drain's empty-buffer short
         // circuit can only over-see, never miss, a published request.
+        // relaxed: the kPending release store below sequences the count
+        // with the publication; the gate itself tolerates staleness.
         in_flight_->fetch_add(1, std::memory_order_relaxed);
         s.op = op;
         s.key = a;
@@ -289,6 +319,8 @@ class CombiningBuffer {
   }
 
   struct Slot {
+    // shared: the slot array is indexed per-thread and Padded at the
+    // array level (see slots_ below); in-struct padding would double it.
     std::atomic<std::uint32_t> state{kEmpty};
     Op op = kUpdate;
     Key key = 0;
@@ -303,9 +335,10 @@ class CombiningBuffer {
 
   // Combiner election plus the drain cursor; `next_scan` is read and
   // written only while `lock` is held, so the lock's acquire/release
-  // edges order it.
+  // edges order it (statically: only drain(), which is CBAT_REQUIRES the
+  // buffer capability, touches it).
   struct Ctl {
-    std::atomic<bool> lock{false};
+    std::atomic<bool> lock{false};  // shared: lock word, padded via ctl_
     int next_scan = 0;
   };
 

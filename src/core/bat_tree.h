@@ -49,6 +49,11 @@ namespace detail {
 // (size 1, or 0 for sentinels); new internal nodes get nil so their
 // supplementary fields are recomputed from current information when needed
 // (this is what makes rotations safe, §4.1).
+// Runs inside the chromatic layer's SCX machinery, always within the
+// EbrGuard the enclosing BatTree operation opened.  The chromatic layer is
+// outside the thread-safety-annotation boundary (see
+// util/thread_annotations.h), so these callbacks are not CBAT_REQUIRES-
+// annotated — the guard obligation is enforced at BatTree's public API.
 template <Augmentation Aug>
 struct BatVersionPolicy {
   using V = Version<Aug>;
@@ -61,6 +66,8 @@ struct BatVersionPolicy {
   }
 
   static void init_internal(Node* n) {
+    // relaxed: the node is thread-private until its SCX publishes it, and
+    // the SCX's release store covers this initialization.
     n->version.store(nullptr, std::memory_order_relaxed);
   }
 
@@ -70,6 +77,8 @@ struct BatVersionPolicy {
   // insertion's SCX succeeds (Definition 7, part 2).  Rotation patches must
   // stay nil (§4.1); they go through init_internal above.
   static void init_internal_for_insert(Node* n, Node* left, Node* right) {
+    // relaxed: left/right are freshly made leaves still private to this
+    // thread; their versions were stored by the same thread in init_leaf.
     auto* vl = static_cast<V*>(left->version.load(std::memory_order_relaxed));
     auto* vr = static_cast<V*>(right->version.load(std::memory_order_relaxed));
     auto* v =
@@ -227,63 +236,79 @@ class BatTree {
 
   // RAII snapshot for composite queries: all reads through one Snapshot see
   // the same version tree.  Keeps an epoch pinned; keep it short-lived.
-  class Snapshot {
+  // A scoped capability: constructing a *named* Snapshot holds
+  // ebr_capability for its scope, which is what licenses the version_*
+  // calls its query methods make.
+  class CBAT_SCOPED_CAPABILITY Snapshot {
    public:
-    explicit Snapshot(const BatTree& t) : root_(t.root_version()) {}
+    explicit Snapshot(const BatTree& t) CBAT_ACQUIRE(ebr_capability) {
+      // guard: guard_ is constructed before this body runs; TSA does not
+      // track member-subobject guards, so assert the capability it pinned.
+      ebr_assert_held();
+      root_ = t.root_version();
+    }
+    ~Snapshot() CBAT_RELEASE() {}
     Snapshot(const Snapshot&) = delete;
     Snapshot& operator=(const Snapshot&) = delete;
 
-    bool contains(Key k) const { return version_contains<Aug>(root_, k); }
-    std::int64_t size() const
+    bool contains(Key k) const CBAT_REQUIRES(ebr_capability) {
+      return version_contains<Aug>(root_, k);
+    }
+    std::int64_t size() const CBAT_REQUIRES(ebr_capability)
       requires SizedAugmentation<Aug>
     {
       return version_size<Aug>(root_);
     }
-    std::int64_t rank(Key k) const
+    std::int64_t rank(Key k) const CBAT_REQUIRES(ebr_capability)
       requires SizedAugmentation<Aug>
     {
       return version_rank<Aug>(root_, k);
     }
-    std::int64_t rank_less(Key k) const
+    std::int64_t rank_less(Key k) const CBAT_REQUIRES(ebr_capability)
       requires SizedAugmentation<Aug>
     {
       return version_rank_less<Aug>(root_, k);
     }
     std::optional<Key> select(std::int64_t i) const
+        CBAT_REQUIRES(ebr_capability)
       requires SizedAugmentation<Aug>
     {
       return version_select<Aug>(root_, i);
     }
     std::optional<Key> select_in_range(Key lo, Key hi, std::int64_t i) const
+        CBAT_REQUIRES(ebr_capability)
       requires SizedAugmentation<Aug>
     {
       return version_select_in_range<Aug>(root_, lo, hi, i);
     }
-    std::optional<Key> floor(Key k) const {
+    std::optional<Key> floor(Key k) const CBAT_REQUIRES(ebr_capability) {
       return version_floor<Aug>(root_, k);
     }
-    std::optional<Key> ceiling(Key k) const {
+    std::optional<Key> ceiling(Key k) const CBAT_REQUIRES(ebr_capability) {
       return version_ceiling<Aug>(root_, k);
     }
     std::int64_t range_count(Key lo, Key hi) const
+        CBAT_REQUIRES(ebr_capability)
       requires SizedAugmentation<Aug>
     {
       return version_range_count<Aug>(root_, lo, hi);
     }
-    AugValue range_aggregate(Key lo, Key hi) const {
+    AugValue range_aggregate(Key lo, Key hi) const
+        CBAT_REQUIRES(ebr_capability) {
       return version_range_aggregate<Aug>(root_, lo, hi);
     }
     std::vector<Key> keys(Key lo = std::numeric_limits<Key>::min(),
-                          Key hi = kMaxUserKey) const {
+                          Key hi = kMaxUserKey) const
+        CBAT_REQUIRES(ebr_capability) {
       std::vector<Key> out;
       version_collect_range<Aug>(root_, lo, hi, &out);
       return out;
     }
-    const V* root() const { return root_; }
+    const V* root() const CBAT_REQUIRES(ebr_capability) { return root_; }
 
    private:
     EbrGuard guard_;
-    const V* root_;
+    const V* root_ = nullptr;
   };
 
   // --- configuration & introspection --------------------------------------
@@ -342,7 +367,9 @@ class BatTree {
   }
 
   // The current root version (for tests).
-  const V* root_version_unsafe() const { return root_version(); }
+  const V* root_version_unsafe() const CBAT_REQUIRES(ebr_capability) {
+    return root_version();
+  }
 
   ChromaticTree<detail::BatVersionPolicy<Aug>>& node_tree() { return tree_; }
   const ChromaticTree<detail::BatVersionPolicy<Aug>>& node_tree() const {
@@ -350,21 +377,21 @@ class BatTree {
   }
 
  private:
-  V* root_version() const {
+  V* root_version() const CBAT_REQUIRES(ebr_capability) {
     // The root node is never replaced and its version is set in the
     // constructor and only ever CAS'd non-nil -> non-nil afterwards.
     return static_cast<V*>(
         tree_.root()->version.load(std::memory_order_acquire));
   }
 
-  static V* version_of(const Node* n) {
+  static V* version_of(const Node* n) CBAT_REQUIRES(ebr_capability) {
     return static_cast<V*>(n->version.load(std::memory_order_acquire));
   }
 
   // --- Refresh machinery (paper Fig. 3 lines 49-69; Fig. 12) -------------
 
   // Reads x's version, first fixing it if nil (recursive refresh).
-  V* read_version(Node* x) {
+  V* read_version(Node* x) CBAT_REQUIRES(ebr_capability) {
     V* v = version_of(x);
     if (v == nullptr) {
       refresh_nil(x);
@@ -376,7 +403,7 @@ class BatTree {
   // Recursive refresh: only ever changes a version pointer nil -> non-nil
   // (the separation from top-level refreshes matters for delegation
   // correctness and reclamation, §5/§6).
-  void refresh_nil(Node* x) {
+  void refresh_nil(Node* x) CBAT_REQUIRES(ebr_capability) {
     Node* xl;
     V* vl;
     do {
@@ -410,7 +437,8 @@ class BatTree {
   };
 
   // Top-level refresh: changes the version pointer non-nil -> non-nil.
-  RefreshResult refresh(Node* x, PropStatus* ps) {
+  RefreshResult refresh(Node* x, PropStatus* ps)
+      CBAT_REQUIRES(ebr_capability) {
     RefreshResult r;
     V* old = read_version(x);
     const bool stamped_root = x == tree_.root() && epoch_source_ != nullptr;
@@ -464,7 +492,7 @@ class BatTree {
     return s;
   }
 
-  void propagate(Key k) {
+  void propagate(Key k) CBAT_REQUIRES(ebr_capability) {
     Counters::bump(Counter::kPropagateCalls);
     Scratch& s = scratch();
     s.stack.clear();
@@ -546,7 +574,8 @@ class BatTree {
   // variants, §4.1); delegation stays a single-key optimization because a
   // delegatee only covers the contended node's own root path, not the
   // batch's remaining sibling subtrees.
-  void propagate_batch(const Key* keys, int n) {
+  void propagate_batch(const Key* keys, int n)
+      CBAT_REQUIRES(ebr_capability) {
     Counters::bump(Counter::kPropagateCalls);
     Scratch& s = scratch();
     s.stack.clear();
@@ -604,7 +633,7 @@ class BatTree {
   // The plain double refresh (Fig. 3 lines 43-45): if our refresh CAS
   // lost, one more refresh is guaranteed to have started after our update
   // arrived at the child, so its result covers us.
-  void refresh_double(Node* top, Scratch& s) {
+  void refresh_double(Node* top, Scratch& s) CBAT_REQUIRES(ebr_capability) {
     RefreshResult r = refresh(top, nullptr);
     if (r.success) {
       s.to_retire.push_back(r.old);
@@ -616,7 +645,8 @@ class BatTree {
 
   // Refreshes `top` according to the variant.  Returns false iff the
   // propagate delegated its remaining work (and has already waited).
-  bool refresh_one(Node* top, PropStatus* ps, Scratch& s, bool* delegated) {
+  bool refresh_one(Node* top, PropStatus* ps, Scratch& s, bool* delegated)
+      CBAT_REQUIRES(ebr_capability) {
     if constexpr (Del == Delegation::kNone) {
       (void)ps;
       refresh_double(top, s);
@@ -692,7 +722,7 @@ class BatTree {
 
   // Finalizes a root version's stamp in the mode the attached source
   // selected (see set_epoch_source).  Caller has checked epoch_source_.
-  std::uint64_t stamp_epoch(const V* v) const {
+  std::uint64_t stamp_epoch(const V* v) const CBAT_REQUIRES(ebr_capability) {
     return unique_epoch_stamps_ ? version_epoch_unique<Aug>(v, *epoch_source_)
                                 : version_epoch<Aug>(v, *epoch_source_);
   }

@@ -12,6 +12,7 @@
 #include <cstdint>
 
 #include "core/augmentations.h"
+#include "reclamation/ebr.h"
 #include "util/keys.h"
 
 namespace cbat {
@@ -20,6 +21,8 @@ namespace cbat {
 // Propagate call; versions record the PropStatus of the Propagate whose
 // Refresh created them so a beaten Refresh knows whom to wait for.
 struct PropStatus {
+  // shared: one short-lived cell per Propagate; waiters spin on done by
+  // design, and padding would defeat the pool's size-class reuse.
   std::atomic<bool> done{false};
   std::atomic<PropStatus*> delegatee{nullptr};
 };
@@ -55,6 +58,8 @@ struct Version {
   // corrupts both free lists).  The smoke gate showed the uniform layout
   // inside measurement noise on the unstamped single-tree figures.
   Version* prev_root = nullptr;
+  // shared: per-version stamp, written at most once past kEpochTbd;
+  // padding every version would double the dominant allocation.
   mutable std::atomic<std::uint64_t> epoch{kEpochTbd};
 
   bool is_leaf() const { return left == nullptr; }
@@ -68,7 +73,8 @@ struct Version {
 // counter value.  First CAS wins; losers return the established stamp.
 template <Augmentation Aug>
 std::uint64_t version_epoch(const Version<Aug>* v,
-                            const std::atomic<std::uint64_t>& counter) {
+                            const std::atomic<std::uint64_t>& counter)
+    CBAT_REQUIRES(ebr_capability) {
   std::uint64_t s = v->epoch.load(std::memory_order_acquire);
   if (s != kEpochTbd) return s;
   const std::uint64_t now = counter.load(std::memory_order_seq_cst);
@@ -93,7 +99,8 @@ std::uint64_t version_epoch(const Version<Aug>* v,
 // the same mode — BatTree::set_epoch_source carries the choice.
 template <Augmentation Aug>
 std::uint64_t version_epoch_unique(const Version<Aug>* v,
-                                   std::atomic<std::uint64_t>& counter) {
+                                   std::atomic<std::uint64_t>& counter)
+    CBAT_REQUIRES(ebr_capability) {
   std::uint64_t s = v->epoch.load(std::memory_order_acquire);
   if (s != kEpochTbd) return s;
   const std::uint64_t now = counter.fetch_add(1, std::memory_order_seq_cst) + 1;
@@ -108,7 +115,8 @@ std::uint64_t version_epoch_unique(const Version<Aug>* v,
 // finalize it (kEpochTbd while unassigned).  Tests and diagnostics only —
 // a reader that needs a *final* stamp must use version_epoch[_unique].
 template <Augmentation Aug>
-std::uint64_t version_epoch_peek(const Version<Aug>* v) {
+std::uint64_t version_epoch_peek(const Version<Aug>* v)
+    CBAT_REQUIRES(ebr_capability) {
   return v->epoch.load(std::memory_order_acquire);
 }
 
@@ -122,7 +130,7 @@ std::uint64_t version_epoch_peek(const Version<Aug>* v) {
 template <Augmentation Aug>
 const Version<Aug>* version_resolve_epoch(
     const Version<Aug>* v, std::uint64_t e,
-    const std::atomic<std::uint64_t>& counter) {
+    const std::atomic<std::uint64_t>& counter) CBAT_REQUIRES(ebr_capability) {
   while (v->prev_root != nullptr && version_epoch(v, counter) > e) {
     v = v->prev_root;
   }
@@ -135,7 +143,7 @@ const Version<Aug>* version_resolve_epoch(
 template <Augmentation Aug>
 const Version<Aug>* version_resolve_epoch_unique(
     const Version<Aug>* v, std::uint64_t e,
-    std::atomic<std::uint64_t>& counter) {
+    std::atomic<std::uint64_t>& counter) CBAT_REQUIRES(ebr_capability) {
   while (v->prev_root != nullptr && version_epoch_unique(v, counter) > e) {
     v = v->prev_root;
   }

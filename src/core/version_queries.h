@@ -9,6 +9,8 @@
 //
 // The caller must keep the snapshot alive (hold an EbrGuard) for the
 // duration of the query; BatTree's public methods and Snapshot handle do so.
+// Statically enforced: every query is CBAT_REQUIRES(ebr_capability), so a
+// guardless call fails to compile under -DCBAT_THREAD_SAFETY=ON.
 #pragma once
 
 #include <cstdint>
@@ -21,7 +23,8 @@ namespace cbat {
 
 // Standard BST search on the version tree (paper Fig. 3, Find).
 template <Augmentation Aug>
-bool version_contains(const Version<Aug>* v, Key k) {
+bool version_contains(const Version<Aug>* v, Key k)
+    CBAT_REQUIRES(ebr_capability) {
   while (!v->is_leaf()) {
     v = (k < v->key) ? v->left : v->right;
   }
@@ -30,13 +33,15 @@ bool version_contains(const Version<Aug>* v, Key k) {
 
 // Number of keys in the whole snapshot.
 template <SizedAugmentation Aug>
-std::int64_t version_size(const Version<Aug>* root) {
+std::int64_t version_size(const Version<Aug>* root)
+    CBAT_REQUIRES(ebr_capability) {
   return Aug::size_of(root->aug);
 }
 
 // Number of keys <= k (the paper's rank query).
 template <SizedAugmentation Aug>
-std::int64_t version_rank(const Version<Aug>* v, Key k) {
+std::int64_t version_rank(const Version<Aug>* v, Key k)
+    CBAT_REQUIRES(ebr_capability) {
   std::int64_t acc = 0;
   while (!v->is_leaf()) {
     if (k < v->key) {
@@ -52,7 +57,8 @@ std::int64_t version_rank(const Version<Aug>* v, Key k) {
 
 // Number of keys strictly less than k.
 template <SizedAugmentation Aug>
-std::int64_t version_rank_less(const Version<Aug>* v, Key k) {
+std::int64_t version_rank_less(const Version<Aug>* v, Key k)
+    CBAT_REQUIRES(ebr_capability) {
   std::int64_t acc = 0;
   while (!v->is_leaf()) {
     if (k <= v->key) {
@@ -68,7 +74,8 @@ std::int64_t version_rank_less(const Version<Aug>* v, Key k) {
 
 // The i-th smallest key, 1-based (the paper's select query).
 template <SizedAugmentation Aug>
-std::optional<Key> version_select(const Version<Aug>* v, std::int64_t i) {
+std::optional<Key> version_select(const Version<Aug>* v, std::int64_t i)
+    CBAT_REQUIRES(ebr_capability) {
   if (i < 1 || i > Aug::size_of(v->aug)) return std::nullopt;
   while (!v->is_leaf()) {
     const std::int64_t ls = Aug::size_of(v->left->aug);
@@ -85,7 +92,8 @@ std::optional<Key> version_select(const Version<Aug>* v, std::int64_t i) {
 // Number of keys in [lo, hi]; two root-to-leaf descents (paper §7 "range
 // queries ... traverse two paths").
 template <SizedAugmentation Aug>
-std::int64_t version_range_count(const Version<Aug>* root, Key lo, Key hi) {
+std::int64_t version_range_count(const Version<Aug>* root, Key lo, Key hi)
+    CBAT_REQUIRES(ebr_capability) {
   if (lo > hi) return 0;
   return version_rank<Aug>(root, hi) - version_rank_less<Aug>(root, lo);
 }
@@ -94,7 +102,8 @@ namespace detail {
 
 template <Augmentation Aug>
 typename Aug::Value range_agg_rec(const Version<Aug>* v, Key lo, Key hi,
-                                  Key vmin, Key vmax) {
+                                  Key vmin, Key vmax)
+    CBAT_REQUIRES(ebr_capability) {
   if (hi < vmin || vmax < lo) return Aug::sentinel();
   if (lo <= vmin && vmax <= hi) return v->aug;
   if (v->is_leaf()) {
@@ -112,7 +121,8 @@ typename Aug::Value range_agg_rec(const Version<Aug>* v, Key lo, Key hi,
 // Requires lo/hi to be user keys (sentinels contribute the identity).
 template <Augmentation Aug>
 typename Aug::Value version_range_aggregate(const Version<Aug>* root, Key lo,
-                                            Key hi) {
+                                            Key hi)
+    CBAT_REQUIRES(ebr_capability) {
   if (lo > hi) return Aug::sentinel();
   return detail::range_agg_rec<Aug>(root, lo, hi,
                                     std::numeric_limits<Key>::min(), kInf2);
@@ -122,7 +132,8 @@ typename Aug::Value version_range_aggregate(const Version<Aug>* root, Key lo,
 // limit > 0.  Cost Theta(reported + height).
 template <Augmentation Aug>
 void version_collect_range(const Version<Aug>* v, Key lo, Key hi,
-                           std::vector<Key>* out, std::size_t limit = 0) {
+                           std::vector<Key>* out, std::size_t limit = 0)
+    CBAT_REQUIRES(ebr_capability) {
   if (limit > 0 && out->size() >= limit) return;
   if (v->is_leaf()) {
     if (!is_sentinel_key(v->key) && lo <= v->key && v->key <= hi) {
@@ -138,7 +149,8 @@ void version_collect_range(const Version<Aug>* v, Key lo, Key hi,
 // Two chained descents: remember the last left subtree we skipped past,
 // then resolve its rightmost leaf only if the main descent missed.
 template <Augmentation Aug>
-std::optional<Key> version_floor(const Version<Aug>* v, Key k) {
+std::optional<Key> version_floor(const Version<Aug>* v, Key k)
+    CBAT_REQUIRES(ebr_capability) {
   const Version<Aug>* cand = nullptr;  // subtree entirely <= k, if any
   while (!v->is_leaf()) {
     if (k < v->key) {
@@ -158,7 +170,8 @@ std::optional<Key> version_floor(const Version<Aug>* v, Key k) {
 
 // Smallest key >= k, if any.
 template <Augmentation Aug>
-std::optional<Key> version_ceiling(const Version<Aug>* v, Key k) {
+std::optional<Key> version_ceiling(const Version<Aug>* v, Key k)
+    CBAT_REQUIRES(ebr_capability) {
   const Version<Aug>* cand = nullptr;  // subtree entirely >= k, if any
   while (!v->is_leaf()) {
     if (k < v->key) {
@@ -182,7 +195,8 @@ std::optional<Key> version_ceiling(const Version<Aug>* v, Key k) {
 // same snapshot.
 template <SizedAugmentation Aug>
 std::optional<Key> version_select_in_range(const Version<Aug>* root, Key lo,
-                                           Key hi, std::int64_t i) {
+                                           Key hi, std::int64_t i)
+    CBAT_REQUIRES(ebr_capability) {
   if (lo > hi || i < 1) return std::nullopt;
   const std::int64_t before = version_rank_less<Aug>(root, lo);
   const std::int64_t inside = version_rank<Aug>(root, hi) - before;
@@ -195,7 +209,8 @@ std::optional<Key> version_select_in_range(const Version<Aug>* root, Key lo,
 // Checks paper Invariant 24 (v.aug == combine(children)) and the BST order
 // of the version tree.  Returns false on any violation.
 template <Augmentation Aug>
-bool version_tree_valid(const Version<Aug>* v, Key lo, Key hi) {
+bool version_tree_valid(const Version<Aug>* v, Key lo, Key hi)
+    CBAT_REQUIRES(ebr_capability) {
   if (v->is_leaf()) {
     if (v->right != nullptr) return false;
     return v->key >= lo && v->key <= hi;

@@ -39,11 +39,15 @@ struct Info;  // forward
 
 struct FrNode {
   Key key;
+  // shared: per-node words; see the padding tradeoff note in
+  // llxscx/node.h — contention diffuses across the tree.
   std::atomic<FrNode*> child[2];       // null for leaves
   std::atomic<std::uintptr_t> update;  // Info* | state (internal nodes)
   std::atomic<void*> version;
 
   FrNode(Key k, FrNode* l, FrNode* r) : key(k), update(0) {
+    // relaxed: constructor stores; the node is private until the CAS
+    // that links it in publishes with release ordering.
     child[0].store(l, std::memory_order_relaxed);
     child[1].store(r, std::memory_order_relaxed);
     version.store(nullptr, std::memory_order_relaxed);
@@ -102,6 +106,7 @@ class FrBst {
       FrNode* n = stack.back();
       stack.pop_back();
       if (!n->is_leaf()) {
+        // relaxed: destructor walk at quiescence; no concurrent access.
         stack.push_back(n->child[0].load(std::memory_order_relaxed));
         stack.push_back(n->child[1].load(std::memory_order_relaxed));
       }
@@ -264,7 +269,8 @@ class FrBst {
                        ? pool_new<FrNode>(std::max(k, s.l->key), nl, lc)
                        : pool_new<FrNode>(std::max(k, s.l->key), lc, nl);
       // Both children are fresh leaves with final versions: the internal
-      // node's version is computable right now (no nil versions in FR-BST).
+      // node's version is computable right now (no nil versions in
+      // FR-BST).  relaxed: ni is private until the CAS publishes it.
       set_internal_version(
           ni, version_of(ni->child[0].load(std::memory_order_relaxed)),
           version_of(ni->child[1].load(std::memory_order_relaxed)));
@@ -476,6 +482,7 @@ class FrBst {
 
   int height_rec(const FrNode* n) const {
     if (n->is_leaf()) return 0;
+    // relaxed: sequential diagnostic; callers run it at quiescence.
     return 1 + std::max(
                    height_rec(n->child[0].load(std::memory_order_relaxed)),
                    height_rec(n->child[1].load(std::memory_order_relaxed)));

@@ -9,6 +9,8 @@ namespace cbat {
 namespace {
 ScxRecord* make_initial() {
   auto* r = new ScxRecord;  // immortal singleton
+  // relaxed: pre-publication store; g_initial's dynamic initialization
+  // happens-before any thread that can observe the pointer.
   r->state.store(ScxRecord::kCommitted, std::memory_order_relaxed);
   r->is_static = true;
   return r;
@@ -19,6 +21,8 @@ ScxRecord* const g_initial = make_initial();
 ScxRecord* scx_initial_record() { return g_initial; }
 
 Node::Node(Key k, std::int32_t w, Node* left, Node* right) : key(k), weight(w) {
+  // relaxed: constructor stores; the node is private to this thread until
+  // the SCX that links it in publishes with release ordering.
   child[0].store(left, std::memory_order_relaxed);
   child[1].store(right, std::memory_order_relaxed);
   info.store(g_initial, std::memory_order_relaxed);

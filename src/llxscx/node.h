@@ -25,14 +25,18 @@ struct Node {
   Key key;
   std::int32_t weight;
 
+  // shared: per-node fields throughout — padding every hot word would
+  // multiply node size and wreck cache residency; contention is diffused
+  // across millions of nodes instead.
   // Mutable fields protected by LLX/SCX.  Both null for leaves.
   std::atomic<Node*> child[2];
 
-  // LLX/SCX bookkeeping.
+  // LLX/SCX bookkeeping (shared: see above).
   std::atomic<ScxRecord*> info;
   std::atomic<bool> marked{false};
 
-  // BAT version pointer (type-erased; the augmented tree knows the type).
+  // BAT version pointer (type-erased; the augmented tree knows the
+  // type).  shared: same per-node tradeoff as the fields above.
   std::atomic<void*> version{nullptr};
 
   Node(Key k, std::int32_t w, Node* left, Node* right);

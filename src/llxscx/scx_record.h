@@ -14,6 +14,8 @@ inline constexpr int kMaxScxNodes = 6;
 struct ScxRecord : RefCountedDescriptor {
   enum State : int { kInProgress = 0, kCommitted = 1, kAborted = 2 };
 
+  // shared: descriptors are short-lived and pool-recycled; padding them
+  // would defeat the pool's size-class reuse for a window of a few helps.
   std::atomic<int> state{kInProgress};
   std::atomic<bool> all_frozen{false};
 

@@ -34,6 +34,8 @@
 namespace cbat {
 
 struct RefCountedDescriptor {
+  // shared: refcount rides in the descriptor it guards; descriptors are
+  // pool-recycled size classes, so padding would fragment the pool.
   std::atomic<std::int64_t> refs{1};  // creator's credit
   bool is_static = false;  // statically allocated sentinels are never freed
 };
@@ -41,6 +43,9 @@ struct RefCountedDescriptor {
 template <class D>
 void descriptor_ref(D* d) {
   if (d == nullptr || d->is_static) return;
+  // relaxed: incrementing a count you already hold a reference through
+  // needs no ordering; the matching unref uses acq_rel to sequence the
+  // final release before destruction.
   d->refs.fetch_add(1, std::memory_order_relaxed);
 }
 

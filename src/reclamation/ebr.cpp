@@ -12,6 +12,7 @@ Ebr::~Ebr() {
   // chains) free immediately inside Ebr::retire without touching the
   // per-thread contexts or pool free lists — both already destroyed
   // ([basic.start.term]) — so one sweep over the bags empties everything.
+  // relaxed: program-exit path; only this thread still runs.
   g_reclaim_shutdown.store(true, std::memory_order_relaxed);
   for (auto& ctx : ctxs_) {
     for (Bag& bag : ctx->bags) free_bag(bag);

@@ -21,14 +21,33 @@
 #include <vector>
 
 #include "util/padded.h"
+#include "util/thread_annotations.h"
 #include "util/thread_registry.h"
 
 namespace cbat {
+
+// The EBR guard modeled as a Thread Safety Analysis capability: functions
+// that dereference raw Version*/node pointers are annotated
+// CBAT_REQUIRES(ebr_capability), EbrGuard ACQUIREs it, and guardless
+// traversal becomes a compile error under -DCBAT_THREAD_SAFETY=ON.  The
+// object is purely a compile-time token — it has no state and no runtime
+// cost; the actual protection is the epoch machinery below.
+class CBAT_CAPABILITY("ebr") EbrCapabilityT {};
+inline EbrCapabilityT ebr_capability;
+
+// Tells the analysis the EBR capability is held without acquiring anything.
+// For contexts where a guard provably exists but TSA cannot see it: a guard
+// held as a *member* subobject (scoped-capability tracking only follows
+// named locals), or a protocol that pins the epoch by other means (per-
+// thread in-flight slots, quiescence).  Every call site carries a
+// `// guard:` comment naming the proof.
+inline void ebr_assert_held() CBAT_ASSERT_CAPABILITY(ebr_capability) {}
 
 // Set once by ~Ebr.  After this, grace periods are moot (no thread can
 // start an operation), thread-local state — pool free lists, registry
 // slots — is already destroyed ([basic.start.term]), so retired objects
 // are freed immediately and pool deallocations bypass the free lists.
+// shared: written once at exit, read on reclamation slow paths only.
 inline std::atomic<bool> g_reclaim_shutdown{false};
 
 class Ebr {
@@ -39,6 +58,9 @@ class Ebr {
 
   // Defers destruction of p until all currently-active operations finish.
   static void retire(void* p, Deleter d) {
+    // relaxed: shutdown is set once, single-threaded, after all workers
+    // have joined; any observed value is correct (a stale false just takes
+    // the normal deferred path).
     if (g_reclaim_shutdown.load(std::memory_order_relaxed)) {
       d(p);  // shutdown: free now; must not touch per-thread state
       return;
@@ -67,6 +89,8 @@ class Ebr {
   };
 
   struct Ctx {
+    // shared: each Ctx is wrapped in Padded<> at the ctxs_ array below,
+    // so announce words of different threads never share a line.
     std::atomic<std::uint64_t> announce{kQuiescent};
     Bag bags[kBags];
     std::uint64_t retire_count = 0;
@@ -87,15 +111,21 @@ class Ebr {
 
   Ctx& ctx() { return *ctxs_[ThreadRegistry::thread_id()]; }
 
+  // shared: the global epoch is the coordination point by design; it
+  // advances rarely (amortized by retire_count batching).
   std::atomic<std::uint64_t> epoch_{1};
   Padded<Ctx> ctxs_[kMaxThreads];
 };
 
-// RAII epoch guard; re-entrant per thread.
-class EbrGuard {
+// RAII epoch guard; re-entrant per thread.  A scoped capability for the
+// analysis: while a named EbrGuard local is live, ebr_capability is held
+// and CBAT_REQUIRES(ebr_capability) functions may be called.  Re-entrancy
+// is invisible to (and fine with) TSA — the analysis is intraprocedural,
+// so nested guards in separate functions never meet.
+class CBAT_SCOPED_CAPABILITY EbrGuard {
  public:
-  EbrGuard() { Ebr::instance().enter(); }
-  ~EbrGuard() { Ebr::instance().exit(); }
+  EbrGuard() CBAT_ACQUIRE(ebr_capability) { Ebr::instance().enter(); }
+  ~EbrGuard() CBAT_RELEASE() { Ebr::instance().exit(); }
   EbrGuard(const EbrGuard&) = delete;
   EbrGuard& operator=(const EbrGuard&) = delete;
 };

@@ -41,6 +41,8 @@ class Pool {
   }
 
   static void dealloc(void* p) {
+    // relaxed: the exit flag is set when only one thread remains; any
+    // pre-exit read correctly sees false.
     if (g_reclaim_shutdown.load(std::memory_order_relaxed)) {
       // The thread-local free lists are already destroyed during exit.
       ::operator delete(p);
@@ -61,6 +63,7 @@ class Pool {
   // percentiles; the benchmark driver calls this from prefill and worker
   // threads before timing starts.
   static void reserve(std::size_t n) {
+    // relaxed: see dealloc().
     if (g_reclaim_shutdown.load(std::memory_order_relaxed)) return;
     auto& f = free_list();
     const std::size_t want = std::min(n, kMaxFree);

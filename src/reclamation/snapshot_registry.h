@@ -23,6 +23,7 @@ class SnapshotRegistry {
   class Guard {
    public:
     explicit Guard(std::uint64_t ts) : slot_(&slot()) {
+      // relaxed: reading our own thread's slot; only we write it.
       prev_ = slot_->load(std::memory_order_relaxed);
       slot_->store(ts, std::memory_order_seq_cst);
     }

@@ -21,9 +21,12 @@
 // BatTree::set_epoch_source) — ShardedSet does this for
 // ReadPath::kCombined.
 //
-// Entry protocol: a seqlock per entry (even seq = stable, odd = writer in
-// place), all payload words individually atomic so the fast path is
-// data-race-free under TSan.  Readers accept a value only if the sequence
+// Entry protocol: a seqlock per entry (util/seqlock.h; even seq = stable,
+// odd = writer in place), all payload words individually atomic so the
+// fast path is data-race-free under TSan.  The seqlock's write side is a
+// thread-safety capability: filling an entry without first claiming the
+// writer token (Seqlock::try_write) is a compile error under
+// -DCBAT_THREAD_SAFETY=ON.  Readers accept a value only if the sequence
 // word is even and unchanged across the payload reads AND the stored stamp
 // equals the stamp of the root the *caller* has pinned — a concurrent
 // root CAS re-stamps the shard, the stamps mismatch, and the stale entry
@@ -54,6 +57,8 @@
 #include "core/version.h"
 #include "util/keys.h"
 #include "util/padded.h"
+#include "util/seqlock.h"
+#include "util/thread_annotations.h"
 
 namespace cbat {
 
@@ -63,13 +68,18 @@ namespace cbat {
 // misses (and is not counted), so the cached structures degrade to plain
 // snapshot reads with identical semantics.
 inline std::atomic<bool>& aggregate_cache_slot() {
+  // shared: process-wide knob, read-mostly; padding a function-local
+  // static buys nothing.
   static std::atomic<bool> v{true};
   return v;
 }
 inline bool aggregate_cache_enabled() {
+  // relaxed: tuning knob; any recently-written value is acceptable and no
+  // other data is published through it.
   return aggregate_cache_slot().load(std::memory_order_relaxed);
 }
 inline void set_aggregate_cache(bool on) {
+  // relaxed: tuning knob; see aggregate_cache_enabled().
   aggregate_cache_slot().store(on, std::memory_order_relaxed);
 }
 
@@ -87,29 +97,23 @@ class AggregateCache {
 
   bool load_size(int s, std::uint64_t stamp, std::int64_t* out) const {
     const SizeEntry& e = sizes_->e[s];
-    const std::uint64_t s1 = e.seq.load(std::memory_order_acquire);
-    if (s1 & 1) return false;
+    const std::uint64_t s1 = e.seq.read_begin();
+    if (!Seqlock::is_stable(s1)) return false;
+    // relaxed: racy-read-then-validate; read_validate's acquire fence
+    // orders these payload loads before the sequence re-check.
     const std::uint64_t st = e.stamp.load(std::memory_order_relaxed);
     const std::int64_t v = e.value.load(std::memory_order_relaxed);
-    std::atomic_thread_fence(std::memory_order_acquire);
-    if (e.seq.load(std::memory_order_relaxed) != s1) return false;
+    if (!e.seq.read_validate(s1)) return false;
     if (st != stamp || st == kEpochTbd) return false;
     *out = v;
     return true;
   }
   void store_size(int s, std::uint64_t stamp, std::int64_t v) const {
     SizeEntry& e = sizes_->e[s];
-    std::uint64_t seq = e.seq.load(std::memory_order_relaxed);
-    if (seq & 1) return;  // another writer is filling; ours is best effort
-    if (!e.seq.compare_exchange_strong(seq, seq + 1,
-                                       std::memory_order_relaxed,
-                                       std::memory_order_relaxed)) {
-      return;
-    }
-    std::atomic_thread_fence(std::memory_order_release);
-    e.stamp.store(stamp, std::memory_order_relaxed);
-    e.value.store(v, std::memory_order_relaxed);
-    e.seq.store(seq + 2, std::memory_order_release);
+    // Another writer filling means ours is best effort: skip.
+    if (!e.seq.try_write()) return;
+    fill_size(e, stamp, v);
+    e.seq.end_write();
   }
 
   // --- per-shard range_aggregate results ----------------------------------
@@ -117,14 +121,14 @@ class AggregateCache {
   bool load_range(int s, Key lo, Key hi, std::uint64_t stamp,
                   std::int64_t* out) const {
     const RangeEntry& e = ranges_[s]->e[range_way(lo, hi)];
-    const std::uint64_t s1 = e.seq.load(std::memory_order_acquire);
-    if (s1 & 1) return false;
+    const std::uint64_t s1 = e.seq.read_begin();
+    if (!Seqlock::is_stable(s1)) return false;
+    // relaxed: racy-read-then-validate; see load_size.
     const std::uint64_t st = e.stamp.load(std::memory_order_relaxed);
     const Key elo = e.lo.load(std::memory_order_relaxed);
     const Key ehi = e.hi.load(std::memory_order_relaxed);
     const std::int64_t v = e.value.load(std::memory_order_relaxed);
-    std::atomic_thread_fence(std::memory_order_acquire);
-    if (e.seq.load(std::memory_order_relaxed) != s1) return false;
+    if (!e.seq.read_validate(s1)) return false;
     if (st != stamp || st == kEpochTbd || elo != lo || ehi != hi) {
       return false;
     }
@@ -134,19 +138,9 @@ class AggregateCache {
   void store_range(int s, Key lo, Key hi, std::uint64_t stamp,
                    std::int64_t v) const {
     RangeEntry& e = ranges_[s]->e[range_way(lo, hi)];
-    std::uint64_t seq = e.seq.load(std::memory_order_relaxed);
-    if (seq & 1) return;
-    if (!e.seq.compare_exchange_strong(seq, seq + 1,
-                                       std::memory_order_relaxed,
-                                       std::memory_order_relaxed)) {
-      return;
-    }
-    std::atomic_thread_fence(std::memory_order_release);
-    e.stamp.store(stamp, std::memory_order_relaxed);
-    e.lo.store(lo, std::memory_order_relaxed);
-    e.hi.store(hi, std::memory_order_relaxed);
-    e.value.store(v, std::memory_order_relaxed);
-    e.seq.store(seq + 2, std::memory_order_release);
+    if (!e.seq.try_write()) return;  // best effort: a writer is in place
+    fill_range(e, stamp, lo, hi, v);
+    e.seq.end_write();
   }
 
   // --- map-flip invalidation ----------------------------------------------
@@ -170,30 +164,20 @@ class AggregateCache {
   }
 
  private:
-  static void kill_entry(std::atomic<std::uint64_t>& seq,
-                         std::atomic<std::uint64_t>& stamp) {
-    std::uint64_t s = seq.load(std::memory_order_relaxed);
-    if (s & 1) return;
-    if (!seq.compare_exchange_strong(s, s + 1, std::memory_order_relaxed,
-                                     std::memory_order_relaxed)) {
-      return;
-    }
-    std::atomic_thread_fence(std::memory_order_release);
-    stamp.store(kEpochTbd, std::memory_order_relaxed);
-    seq.store(s + 2, std::memory_order_release);
-  }
-
   // Seqlock field order mirrors the read/write protocol above: the
   // acquire fence in a reader pairs with the writer's release fence, so a
   // reader that observed any payload word of an in-progress or newer
   // write is guaranteed to observe the bumped sequence word and reject.
   struct SizeEntry {
-    std::atomic<std::uint64_t> seq{0};  // even = stable, odd = writing
+    Seqlock seq;  // even = stable, odd = writing
+    // shared: seqlock payload — racy-read-then-validate by design; the
+    // packed-row layout (see header comment) is the padding tradeoff.
     std::atomic<std::uint64_t> stamp{kEpochTbd};
     std::atomic<std::int64_t> value{0};
   };
   struct RangeEntry {
-    std::atomic<std::uint64_t> seq{0};
+    Seqlock seq;
+    // shared: seqlock payload; see SizeEntry.
     std::atomic<std::uint64_t> stamp{kEpochTbd};
     std::atomic<Key> lo{0};
     std::atomic<Key> hi{0};
@@ -205,6 +189,32 @@ class AggregateCache {
   struct RangeRow {
     RangeEntry e[kRangeWays];
   };
+
+  static void kill_entry(Seqlock& seq, std::atomic<std::uint64_t>& stamp) {
+    if (!seq.try_write()) return;  // mid-fill entry keeps its writer's value
+    // relaxed: bracketed by try_write's release fence and end_write's
+    // release store, which order it for validating readers.
+    stamp.store(kEpochTbd, std::memory_order_relaxed);
+    seq.end_write();
+  }
+
+  // Payload fills, REQUIRES the entry's writer token: the seqlock protocol
+  // (claim fence before, release publish after) is what orders these
+  // relaxed stores, so they must not run tokenless.
+  static void fill_size(SizeEntry& e, std::uint64_t stamp, std::int64_t v)
+      CBAT_REQUIRES(e.seq) {
+    // relaxed: bracketed by the writer token's fences; see above.
+    e.stamp.store(stamp, std::memory_order_relaxed);
+    e.value.store(v, std::memory_order_relaxed);
+  }
+  static void fill_range(RangeEntry& e, std::uint64_t stamp, Key lo, Key hi,
+                         std::int64_t v) CBAT_REQUIRES(e.seq) {
+    // relaxed: bracketed by the writer token's fences; see above.
+    e.stamp.store(stamp, std::memory_order_relaxed);
+    e.lo.store(lo, std::memory_order_relaxed);
+    e.hi.store(hi, std::memory_order_relaxed);
+    e.value.store(v, std::memory_order_relaxed);
+  }
 
   static int range_way(Key lo, Key hi) {
     // Fibonacci-style mix of both bounds; any deterministic spread works,

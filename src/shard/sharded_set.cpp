@@ -15,11 +15,13 @@ std::atomic<Key>& default_keyspace_slot() {
 }  // namespace
 
 Key default_keyspace() {
+  // relaxed: configuration knob; no data is published through it.
   return default_keyspace_slot().load(std::memory_order_relaxed);
 }
 
 void set_default_keyspace(Key keyspace) {
   if (keyspace > 0) {
+    // relaxed: see default_keyspace().
     default_keyspace_slot().store(keyspace, std::memory_order_relaxed);
   }
 }

@@ -110,6 +110,7 @@
 #include "util/backoff.h"
 #include "util/counters.h"
 #include "util/padded.h"
+#include "util/thread_annotations.h"
 
 namespace cbat {
 
@@ -123,7 +124,9 @@ void set_default_keyspace(Key keyspace);
 // Monotone forest ids for thread-local snapshot leases: a lease slot left
 // behind by a destroyed forest can never match a live one.
 inline std::uint64_t next_forest_id() {
+  // shared: one-time id mint per forest construction; cold.
   static std::atomic<std::uint64_t> src{0};
+  // relaxed: only uniqueness is needed, not ordering with anything.
   return src.fetch_add(1, std::memory_order_relaxed) + 1;
 }
 
@@ -195,6 +198,7 @@ class ShardedSet {
     std::array<Key, NumShards> upper{};  // inclusive owned upper bounds
     std::uint64_t gen = 1;               // monotone map generation
     const ShardMap* prev = nullptr;
+    // shared: stamped once at the flip; cold after publication.
     mutable std::atomic<std::uint64_t> flip_epoch{kEpochTbd};
 
     int shard_of(Key k) const {
@@ -364,14 +368,16 @@ class ShardedSet {
     if constexpr (RPath == ReadPath::kCombined) {
       return read_op(RBuffer::kSize, 0, 0).value;
     } else {
-      return Snapshot(*this).size();
+      const Snapshot snap(*this);
+      return snap.size();
     }
   }
   std::int64_t rank(Key k) const {
     if constexpr (RPath == ReadPath::kCombined) {
       return read_op(RBuffer::kRank, k, 0).value;
     } else {
-      return Snapshot(*this).rank(k);
+      const Snapshot snap(*this);
+      return snap.rank(k);
     }
   }
   std::optional<Key> select(std::int64_t i) const {
@@ -379,32 +385,44 @@ class ShardedSet {
       const auto r = read_op(RBuffer::kSelect, i, 0);
       return r.ok ? std::optional<Key>(r.value) : std::nullopt;
     } else {
-      return Snapshot(*this).select(i);
+      const Snapshot snap(*this);
+      return snap.select(i);
     }
   }
   std::int64_t range_count(Key lo, Key hi) const {
     if constexpr (RPath == ReadPath::kCombined) {
       return read_op(RBuffer::kRangeCount, lo, hi).value;
     } else {
-      return Snapshot(*this).range_count(lo, hi);
+      const Snapshot snap(*this);
+      return snap.range_count(lo, hi);
     }
   }
   AugValue range_aggregate(Key lo, Key hi) const {
     if constexpr (RPath == ReadPath::kCombined) {
       return read_op(RBuffer::kRangeAggregate, lo, hi).value;
     } else {
-      return Snapshot(*this).range_aggregate(lo, hi);
+      const Snapshot snap(*this);
+      return snap.range_aggregate(lo, hi);
     }
   }
+  // Named Snapshot locals (never temporaries) throughout: TSA tracks
+  // scoped capabilities only for named local variables, so
+  // `Snapshot(*this).x()` would not prove ebr_capability held for x().
   std::optional<Key> select_in_range(Key lo, Key hi, std::int64_t i) const {
-    return Snapshot(*this).select_in_range(lo, hi, i);
+    const Snapshot snap(*this);
+    return snap.select_in_range(lo, hi, i);
   }
-  std::optional<Key> floor(Key k) const { return Snapshot(*this).floor(k); }
+  std::optional<Key> floor(Key k) const {
+    const Snapshot snap(*this);
+    return snap.floor(k);
+  }
   std::optional<Key> ceiling(Key k) const {
-    return Snapshot(*this).ceiling(k);
+    const Snapshot snap(*this);
+    return snap.ceiling(k);
   }
   std::vector<Key> range_collect(Key lo, Key hi, std::size_t limit = 0) const {
-    return Snapshot(*this).keys(lo, hi, limit);
+    const Snapshot snap(*this);
+    return snap.keys(lo, hi, limit);
   }
 
   // Pins every shard's root version under ONE EBR guard: `guard_` is
@@ -419,16 +437,27 @@ class ShardedSet {
   // prefix sums are materialized lazily, once, on the first query that
   // needs them (rank/select/size); order-free queries such as floor or
   // range_aggregate skip the O(NumShards) size reads entirely.
-  class Snapshot {
+  //
+  // For Thread Safety Analysis the Snapshot IS a scoped ebr_capability
+  // (its guard_ member pins the epoch for its whole lifetime), and every
+  // query method is CBAT_REQUIRES(ebr_capability) because it dereferences
+  // the pinned roots.
+  class CBAT_SCOPED_CAPABILITY Snapshot {
    public:
     // Test-only seam: called with the shard index right before that
     // shard's root is read, letting deterministic interleaving tests
     // (tests/linearizability_test.cpp) run updates mid-acquisition.
     using MidAcquireHook = void (*)(void* ctx, int next_shard);
 
-    explicit Snapshot(const ShardedSet& s) : Snapshot(s, nullptr, nullptr) {}
+    explicit Snapshot(const ShardedSet& s) CBAT_ACQUIRE(ebr_capability)
+        : Snapshot(s, nullptr, nullptr) {}
     Snapshot(const ShardedSet& s, MidAcquireHook hook, void* hook_ctx)
+        CBAT_ACQUIRE(ebr_capability)
         : owner_(&s) {
+      // guard: guard_ is constructed before this body runs (it is the
+      // first member); TSA does not track member-subobject guards, so
+      // assert the capability it already pinned.
+      ebr_assert_held();
       if constexpr (Policy == SnapshotPolicy::kLinearizable) {
         // fetch_add (not a plain read): every root stamped after this
         // point reads a counter value > epoch_, so it resolves past the
@@ -483,24 +512,26 @@ class ShardedSet {
     Snapshot(const Snapshot&) = delete;
     Snapshot& operator=(const Snapshot&) = delete;
 
-    ~Snapshot() = default;
+    ~Snapshot() CBAT_RELEASE() {}
 
     // The acquisition epoch (kLinearizable; 0 under kQuiescent).  All
     // composite queries on this snapshot linearize at the counter
     // increment that returned it.
     std::uint64_t epoch() const { return epoch_; }
 
-    bool contains(Key k) const {
+    bool contains(Key k) const CBAT_REQUIRES(ebr_capability) {
       return version_contains<Aug>(root_of(k), k);
     }
 
-    std::int64_t size() const { return prefix()[NumShards]; }
+    std::int64_t size() const CBAT_REQUIRES(ebr_capability) {
+      return prefix()[NumShards];
+    }
 
     // Keys <= k: the full shards below k's shard, by prefix sum, plus one
     // rank descent inside it.  Adaptive shards subtract the keys below
     // their owned range — the routing map guarantees k itself lies inside
     // the owning shard's range, so only the low side needs the clamp.
-    std::int64_t rank(Key k) const {
+    std::int64_t rank(Key k) const CBAT_REQUIRES(ebr_capability) {
       const int s = snap_shard_of(k);
       if constexpr (Adaptive) {
         return prefix()[s] + version_rank<Aug>(roots_[s], k) -
@@ -511,7 +542,7 @@ class ShardedSet {
     }
 
     // Keys < k.
-    std::int64_t rank_less(Key k) const {
+    std::int64_t rank_less(Key k) const CBAT_REQUIRES(ebr_capability) {
       const int s = snap_shard_of(k);
       if constexpr (Adaptive) {
         return prefix()[s] + version_rank_less<Aug>(roots_[s], k) -
@@ -523,7 +554,8 @@ class ShardedSet {
 
     // i-th smallest key overall (1-based): binary-search the prefix sums
     // for the owning shard, then select inside it.
-    std::optional<Key> select(std::int64_t i) const {
+    std::optional<Key> select(std::int64_t i) const
+        CBAT_REQUIRES(ebr_capability) {
       const auto& pre = prefix();
       if (i < 1 || i > pre[NumShards]) return std::nullopt;
       const auto it = std::lower_bound(pre.begin() + 1, pre.end(), i);
@@ -538,7 +570,8 @@ class ShardedSet {
 
     // Keys in [lo, hi]: two composite rank descents (the middle shards are
     // absorbed by the prefix sums).
-    std::int64_t range_count(Key lo, Key hi) const {
+    std::int64_t range_count(Key lo, Key hi) const
+        CBAT_REQUIRES(ebr_capability) {
       if (lo > hi) return 0;
       return rank(hi) - rank_less(lo);
     }
@@ -548,7 +581,8 @@ class ShardedSet {
     // field in O(1), and contiguity keeps the combine in key order.  The
     // boundary descents are the only O(log n) part, so they are what the
     // range cache memoizes (shard_range_agg) under ReadPath::kCombined.
-    AugValue range_aggregate(Key lo, Key hi) const {
+    AugValue range_aggregate(Key lo, Key hi) const
+        CBAT_REQUIRES(ebr_capability) {
       if (lo > hi) return Aug::sentinel();
       const int slo = snap_shard_of(lo);
       const int shi = snap_shard_of(hi);
@@ -580,8 +614,8 @@ class ShardedSet {
     }
 
     // i-th smallest key within [lo, hi] (1-based), all on this snapshot.
-    std::optional<Key> select_in_range(Key lo, Key hi,
-                                       std::int64_t i) const {
+    std::optional<Key> select_in_range(Key lo, Key hi, std::int64_t i) const
+        CBAT_REQUIRES(ebr_capability) {
       if (lo > hi || i < 1) return std::nullopt;
       const std::int64_t before = rank_less(lo);
       if (i > rank(hi) - before) return std::nullopt;
@@ -592,7 +626,7 @@ class ShardedSet {
     // shards (usually zero or one extra probe).  Adaptive shards clamp
     // the probe to the owned range and reject answers below it — a stale
     // out-of-range copy must neither be returned nor end the walk.
-    std::optional<Key> floor(Key k) const {
+    std::optional<Key> floor(Key k) const CBAT_REQUIRES(ebr_capability) {
       for (int s = snap_shard_of(k); s >= 0; --s) {
         if constexpr (Adaptive) {
           const Key cap = std::min(k, map_->hi_of(s));
@@ -607,7 +641,7 @@ class ShardedSet {
     }
 
     // Smallest key >= k.
-    std::optional<Key> ceiling(Key k) const {
+    std::optional<Key> ceiling(Key k) const CBAT_REQUIRES(ebr_capability) {
       for (int s = snap_shard_of(k); s < NumShards; ++s) {
         if constexpr (Adaptive) {
           const Key flo = std::max(k, map_->lo_of(s));
@@ -625,8 +659,8 @@ class ShardedSet {
     // per-shard concatenation sorted (adaptive shards clamp each
     // collection to the shard's owned slice of [lo, hi]).
     std::vector<Key> keys(Key lo = std::numeric_limits<Key>::min(),
-                          Key hi = kMaxUserKey,
-                          std::size_t limit = 0) const {
+                          Key hi = kMaxUserKey, std::size_t limit = 0) const
+        CBAT_REQUIRES(ebr_capability) {
       std::vector<Key> out;
       for (int s = 0; s < NumShards; ++s) {
         if constexpr (Adaptive) {
@@ -641,13 +675,15 @@ class ShardedSet {
       return out;
     }
 
-    const V* root(int s) const { return roots_[s]; }
+    const V* root(int s) const CBAT_REQUIRES(ebr_capability) {
+      return roots_[s];
+    }
 
    private:
     // Shard routing on THIS snapshot's view: the pinned map under
     // Adaptive (the live map may flip while the snapshot is open), the
     // static division otherwise.
-    int snap_shard_of(Key k) const {
+    int snap_shard_of(Key k) const CBAT_REQUIRES(ebr_capability) {
       if constexpr (Adaptive) {
         return map_->shard_of(k);
       } else {
@@ -655,7 +691,9 @@ class ShardedSet {
       }
     }
 
-    const V* root_of(Key k) const { return roots_[snap_shard_of(k)]; }
+    const V* root_of(Key k) const CBAT_REQUIRES(ebr_capability) {
+      return roots_[snap_shard_of(k)];
+    }
 
     // Lazy prefix-sum materialization, once per snapshot, guarded by a
     // plain flag.  The documented contract is single-threaded use of one
@@ -664,7 +702,8 @@ class ShardedSet {
     // view takes its own Snapshot), so the previous std::call_once /
     // once_flag here paid fence-and-branch machinery on every
     // rank/select/size for a cross-thread fan-out that never happens.
-    const std::array<std::int64_t, NumShards + 1>& prefix() const {
+    const std::array<std::int64_t, NumShards + 1>& prefix() const
+        CBAT_REQUIRES(ebr_capability) {
       if (prefix_ready_) return prefix_;
       // Straight fill from the pinned roots, one aug load per shard —
       // deliberately NO stamp-keyed memoization and NO probe of the
@@ -703,7 +742,8 @@ class ShardedSet {
     // for the hot ranges under ReadPath::kCombined.  The (lo, hi) pair is
     // part of the entry, so boundary pieces of different ranges that
     // hash together only cost each other misses, never wrong answers.
-    AugValue shard_range_agg(int s, Key lo, Key hi) const {
+    AugValue shard_range_agg(int s, Key lo, Key hi) const
+        CBAT_REQUIRES(ebr_capability) {
       if constexpr (RPath == ReadPath::kCombined) {
         if (aggregate_cache_enabled()) {
           const std::uint64_t stamp =
@@ -761,6 +801,7 @@ class ShardedSet {
   void set_adaptive_enabled(bool on)
     requires(Adaptive)
   {
+    // relaxed: policy switch; no data is published with it.
     mig_.enabled.store(on, std::memory_order_relaxed);
   }
   // A shard migrates when its update rate exceeds `f` times the mean
@@ -768,12 +809,14 @@ class ShardedSet {
   void set_rebalance_hot_factor(double f)
     requires(Adaptive)
   {
+    // relaxed: knob; any racing policy check may use either value.
     if (f > 1.0) mig_.hot_factor.store(f, std::memory_order_relaxed);
   }
   // Updates between two policy checks on one thread (default 2048).
   void set_rebalance_check_period(std::uint32_t p)
     requires(Adaptive)
   {
+    // relaxed: knob; any racing policy check may use either value.
     if (p > 0) mig_.check_period.store(p, std::memory_order_relaxed);
   }
 
@@ -784,6 +827,7 @@ class ShardedSet {
   void set_migration_hook(MigrationHook h, void* ctx)
     requires(Adaptive)
   {
+    // relaxed: ctx is published by the hook release store below.
     mig_.hook_ctx.store(ctx, std::memory_order_relaxed);
     mig_.hook.store(h, std::memory_order_release);
   }
@@ -799,9 +843,9 @@ class ShardedSet {
         (dst != src - 1 && dst != src + 1)) {
       return false;
     }
-    if (mig_.active.exchange(true, std::memory_order_acq_rel)) return false;
+    if (!mig_.gate.try_acquire()) return false;
     const bool moved = migrate(src, dst);
-    mig_.active.store(false, std::memory_order_release);
+    mig_.gate.release();
     return moved;
   }
 
@@ -821,7 +865,7 @@ class ShardedSet {
   // --- the epoch-cut migration protocol (Adaptive only) --------------------
   //
   // One migration descriptor per forest (moves are serialized by the
-  // `active` gate).  The phase word is the updater-facing contract:
+  // migration gate).  The phase word is the updater-facing contract:
   //
   //   kIdle  — no move in flight; updates route by the current map.
   //   kCopy  — keys in [lo, hi] are being bulk-copied from src to dst on
@@ -843,6 +887,27 @@ class ShardedSet {
   // announces its slot (seq_cst) BEFORE reading the phase, so an updater
   // observed idle either finished its operation or started a new one
   // that already sees the new phase.
+  // Single-migrator election gate, modeled as a TSA capability: the
+  // protocol bodies (migrate, replay_log) are CBAT_REQUIRES(mig_.gate),
+  // so reaching them without winning the election is a compile error
+  // under -DCBAT_THREAD_SAFETY=ON.  Losers skip, not wait — try_acquire
+  // is the whole election.
+  class CBAT_CAPABILITY("migration gate") MigrationGate {
+   public:
+    // acq_rel: a winner must see the previous migration's protocol
+    // writes (acquire) and publish its own claim (release) in one RMW.
+    bool try_acquire() CBAT_TRY_ACQUIRE(true) {
+      return !active_.exchange(true, std::memory_order_acq_rel);
+    }
+    void release() CBAT_RELEASE() {
+      active_.store(false, std::memory_order_release);
+    }
+
+   private:
+    // shared: single word flipped twice per migration; contention is nil.
+    std::atomic<bool> active_{false};
+  };
+
   struct Migration {
     enum Phase : int { kIdle = 0, kCopy = 1, kSeal = 2, kDone = 3 };
     // Dirty-key log capacity.  An overflow is not an error: the replay
@@ -852,29 +917,42 @@ class ShardedSet {
     // Don't split shards with fewer owned keys than this.
     static constexpr std::int64_t kMinSplitKeys = 16;
 
+    // shared: phase word; seq_cst-stored by the single migrator, rare.
     std::atomic<int> phase{kIdle};
+    // shared: move bounds; written once per migration, before kCopy.
     std::atomic<Key> lo{0};
     std::atomic<Key> hi{0};
+    // shared: dirty-log cursor + overflow flag; bumped by in-range
+    // updaters during kCopy only, never on the common path.
     std::atomic<std::uint32_t> log_n{0};
     std::atomic<bool> log_overflow{false};
+    // shared: the log; slots are claimed by fetch_add, written once.
     std::array<std::atomic<Key>, kLogCap> log{};
     // Per-thread in-flight update announcements: (op_seq << 1) | active.
     // The op counter makes every announcement distinct, so the migrator's
     // quiesce wait is a simple "changed or idle" check with no ABA.
     std::array<Padded<std::atomic<std::uint64_t>>, kMaxThreads> inflight{};
     // Single-migrator gate; also what serializes map flips.
-    std::atomic<bool> active{false};
+    MigrationGate gate;
     // Per-shard update-rate estimators (sampled 1-in-8 by note_update).
     std::array<Padded<std::atomic<std::uint64_t>>, NumShards> rate{};
-    // Policy knobs; see the public setters.
+    // shared: policy knobs (see the public setters); read-mostly.
     std::atomic<bool> enabled{true};
     std::atomic<std::uint32_t> check_period{2048};
     std::atomic<double> hot_factor{2.0};
-    // Test seam (set_migration_hook).
+    // shared: test seam (set_migration_hook); idle in production.
     std::atomic<MigrationHook> hook{nullptr};
     std::atomic<void*> hook_ctx{nullptr};
   };
-  struct NoMigration {};
+  // Zero-cost stand-in keeping TSA attribute arguments (mig_.gate,
+  // rc_.buffer) well-formed in instantiations that compile the real
+  // member out: member declarations — attributes included — are
+  // instantiated even for requires-constrained functions that can never
+  // be called there.
+  class CBAT_CAPABILITY("unused") UnusedCapability {};
+  struct NoMigration {
+    [[no_unique_address]] UnusedCapability gate;
+  };
 
   // Announce / retire one in-flight update in this thread's slot.  The
   // announce is seq_cst and MUST precede the phase read (that ordering is
@@ -891,6 +969,7 @@ class ShardedSet {
   static void retire_inflight(std::atomic<std::uint64_t>& slot) {
     // Release: the tree op's response and any dirty-log entry are
     // published before the slot reads idle.
+    // relaxed: reads back this thread's own slot; coherence suffices.
     slot.store(slot.load(std::memory_order_relaxed) & ~1ULL,
                std::memory_order_release);
   }
@@ -927,9 +1006,9 @@ class ShardedSet {
     for (;;) {
       auto& slot = announce_inflight();
       const int ph = mig_.phase.load(std::memory_order_seq_cst);
-      // lo/hi are stored before the kCopy phase store, and reading
-      // kCopy (or later) seq_cst synchronizes with it, so in-range
-      // checks under an active phase never see stale bounds.
+      // relaxed: lo/hi are stored before the kCopy phase store, and
+      // reading kCopy (or later) seq_cst synchronizes with it, so the
+      // in-range checks under an active phase never see stale bounds.
       if (ph == Migration::kCopy &&
           k >= mig_.lo.load(std::memory_order_relaxed) &&
           k <= mig_.hi.load(std::memory_order_relaxed)) {
@@ -940,6 +1019,7 @@ class ShardedSet {
         retire_inflight(slot);
         break;
       }
+      // relaxed: same ordering argument as the kCopy bounds check above.
       if (ph != Migration::kSeal ||
           k < mig_.lo.load(std::memory_order_relaxed) ||
           k > mig_.hi.load(std::memory_order_relaxed)) {
@@ -1003,9 +1083,11 @@ class ShardedSet {
     if ((++ops & 7u) == 0) {
       // `shard` is the index the op actually routed to — no second map
       // lookup (and no guard) needed here.
+      // relaxed: statistical estimator; lost or reordered bumps are noise.
       mig_.rate[shard]->fetch_add(8, std::memory_order_relaxed);
     }
     if (--until_check == 0) {
+      // relaxed: policy knob; any recent value works.
       until_check = mig_.check_period.load(std::memory_order_relaxed);
       maybe_rebalance();
     }
@@ -1014,16 +1096,18 @@ class ShardedSet {
   // The RebalanceController's local rule: if the hottest shard's rate
   // exceeds hot_factor x mean and an adjacent neighbor runs at half the
   // hot rate or less, shed half of the hot shard's keys to that neighbor.
-  // Piggybacked on updater threads — no coordinator thread; the `active`
+  // Piggybacked on updater threads — no coordinator thread; the election
   // gate makes losers skip, not wait.
   void maybe_rebalance()
     requires(Adaptive)
   {
+    // relaxed: policy switch; a stale read just defers one check period.
     if (!mig_.enabled.load(std::memory_order_relaxed)) return;
-    if (mig_.active.exchange(true, std::memory_order_acq_rel)) return;
+    if (!mig_.gate.try_acquire()) return;
     std::array<std::uint64_t, NumShards> r;
     std::uint64_t total = 0;
     int hot = 0;
+    // relaxed: estimator reads; the policy tolerates any approximate view.
     for (int i = 0; i < NumShards; ++i) {
       r[i] = mig_.rate[i]->load(std::memory_order_relaxed);
       total += r[i];
@@ -1036,6 +1120,7 @@ class ShardedSet {
       Counters::bump(Counter::kShardImbalanceSumMilli,
                      r[hot] * 1000 / mean);
       Counters::bump(Counter::kShardImbalanceSamples);
+      // relaxed: knob read; staleness only shifts one policy decision.
       if (NumShards > 1 && static_cast<double>(r[hot]) >
                                mig_.hot_factor.load(
                                    std::memory_order_relaxed) *
@@ -1050,24 +1135,27 @@ class ShardedSet {
           dst = hot + 1;
         }
         if (dst >= 0 && migrate(hot, dst)) {
+          // relaxed: estimator reset; racing bumps may survive or vanish.
           for (auto& c : mig_.rate) c->store(0, std::memory_order_relaxed);
         }
       }
       // Decay so the estimator tracks the CURRENT distribution: without
       // it a workload shift would be invisible behind accumulated history.
       if (total > (1u << 16)) {
+        // relaxed: estimator decay; racing bumps may be halved or not.
         for (auto& c : mig_.rate) {
           c->store(c->load(std::memory_order_relaxed) / 2,
                    std::memory_order_relaxed);
         }
       }
     }
-    mig_.active.store(false, std::memory_order_release);
+    mig_.gate.release();
   }
 
   // Resolve shard s's root to the newest version stamped at or before
   // epoch e, in the forest's stamp-minting mode.  Caller holds a guard.
   const V* resolve_root(int s, std::uint64_t e) const
+      CBAT_REQUIRES(ebr_capability)
     requires(Adaptive)
   {
     const V* r = shards_[s]->root_version_unsafe();
@@ -1087,6 +1175,7 @@ class ShardedSet {
   // are stepping to happened after our guard was announced, and EBR keeps
   // it live for us.  A table we accept is never walked past.
   const ShardMap* resolve_map_epoch(const ShardMap* m, std::uint64_t e) const
+      CBAT_REQUIRES(ebr_capability)
     requires(Adaptive)
   {
     for (;;) {
@@ -1130,13 +1219,14 @@ class ShardedSet {
     }
   }
 
-  // One boundary move, start to finish.  Caller holds mig_.active and no
-  // EBR guard.  Numbered comments match docs/ARCHITECTURE.md.
-  bool migrate(int src, int dst)
+  // One boundary move, start to finish.  Caller holds the migration gate
+  // (statically enforced) and no EBR guard.  Numbered comments match
+  // docs/ARCHITECTURE.md.
+  bool migrate(int src, int dst) CBAT_REQUIRES(mig_.gate)
     requires(Adaptive)
   {
-    // Only the migrator swaps the map and we ARE the migrator (active
-    // gate), so the current map cannot be retired under us mid-function.
+    // Only the migrator swaps the map and we ARE the migrator (we hold
+    // the gate), so the current map cannot be retired under us.
     const ShardMap* m = map_.load(std::memory_order_acquire);
     const Key slo = m->lo_of(src);
     const Key shi = m->hi_of(src);
@@ -1171,6 +1261,8 @@ class ShardedSet {
     // (1) Arm the descriptor and open the copy phase.  After the grace
     // period, every update that saw kIdle has finished (its effect is
     // stamped before the E0 cut below); every later in-range update logs.
+    // relaxed: all four descriptor stores are ordered before updaters
+    // can act on them by the seq_cst kCopy phase store below.
     mig_.log_n.store(0, std::memory_order_relaxed);
     mig_.log_overflow.store(false, std::memory_order_relaxed);
     mig_.lo.store(cut_lo, std::memory_order_relaxed);
@@ -1260,6 +1352,7 @@ class ShardedSet {
   // truth), re-examine every logged key against src and mirror its state
   // into dst.  On log overflow, diff the whole range instead.
   void replay_log(int src, int dst, Key lo, Key hi)
+      CBAT_REQUIRES(mig_.gate)
     requires(Adaptive)
   {
     std::vector<Key> ins, del;
@@ -1625,7 +1718,7 @@ class ShardedSet {
   // Shared tail of both leased paths: batch-flush the read/hit tallies,
   // then answer on the (now valid) lease.
   ReadRes lease_finish(SnapLease& lease, typename RBuffer::Op op, Key a,
-                       Key b) const
+                       Key b) const CBAT_REQUIRES(ebr_capability)
     requires(RPath == ReadPath::kCombined)
   {
     ++lease.reads_since_update;
@@ -1639,7 +1732,7 @@ class ShardedSet {
   // behind by another forest; root movement within the forest is repaired
   // incrementally in leased_read and never lands here.  Caller holds an
   // EBR guard.
-  void renew_lease(SnapLease& lease) const
+  void renew_lease(SnapLease& lease) const CBAT_REQUIRES(ebr_capability)
     requires(RPath == ReadPath::kCombined)
   {
     const bool cache_on = aggregate_cache_enabled();
@@ -1672,12 +1765,14 @@ class ShardedSet {
   }
 
   std::int64_t lease_rank(const SnapLease& lease, Key k) const
+      CBAT_REQUIRES(ebr_capability)
     requires(RPath == ReadPath::kCombined)
   {
     const int s = shard_of(k);
     return lease.prefix[s] + version_rank<Aug>(lease.roots[s], k);
   }
   std::int64_t lease_rank_less(const SnapLease& lease, Key k) const
+      CBAT_REQUIRES(ebr_capability)
     requires(RPath == ReadPath::kCombined)
   {
     const int s = shard_of(k);
@@ -1688,7 +1783,7 @@ class ShardedSet {
   // the shared range cache under the shard's stamp (bumps flushed here
   // directly: at most two pieces per query).
   AugValue lease_range_piece(const SnapLease& lease, int s, Key lo,
-                             Key hi) const
+                             Key hi) const CBAT_REQUIRES(ebr_capability)
     requires(RPath == ReadPath::kCombined)
   {
     if (aggregate_cache_enabled()) {
@@ -1709,7 +1804,7 @@ class ShardedSet {
   // Composite answers on the leased cut; mirrors Snapshot's query logic
   // over the lease's POD state.
   ReadRes lease_answer(const SnapLease& lease, typename RBuffer::Op op,
-                       Key a, Key b) const
+                       Key a, Key b) const CBAT_REQUIRES(ebr_capability)
     requires(RPath == ReadPath::kCombined)
   {
     switch (op) {
@@ -1752,7 +1847,7 @@ class ShardedSet {
 
   // Answers one drained request against the given (pinned) cut.
   static ReadRes answer(const Snapshot& snap, typename RBuffer::Op op, Key a,
-                        Key b) {
+                        Key b) CBAT_REQUIRES(ebr_capability) {
     switch (op) {
       case RBuffer::kSize:
         return {snap.size(), true};
@@ -1771,10 +1866,12 @@ class ShardedSet {
     }
   }
 
-  // Caller holds the buffer lock; releases it after the drain.  Acquires
-  // ONE cut and answers the own request plus every drained read against
-  // it — the expensive part runs with the lock already free.
+  // Caller holds the buffer lock; releases it after the drain (hence
+  // CBAT_RELEASE, not REQUIRES: the lock is gone when this returns).
+  // Acquires ONE cut and answers the own request plus every drained read
+  // against it — the expensive part runs with the lock already free.
   ReadRes run_read_combiner(typename RBuffer::Op op, Key a, Key b) const
+      CBAT_RELEASE(rc_.buffer)
     requires(RPath == ReadPath::kCombined)
   {
     typename RBuffer::DrainedRequest reqs[RBuffer::num_slots()];
@@ -1796,7 +1893,7 @@ class ShardedSet {
   // Caller holds the buffer lock; releases it after the drain.  Its own
   // request is already published (lock inheritance), so the batch is just
   // the drained slots.
-  void run_read_combiner_drained_only() const
+  void run_read_combiner_drained_only() const CBAT_RELEASE(rc_.buffer)
     requires(RPath == ReadPath::kCombined)
   {
     typename RBuffer::DrainedRequest reqs[RBuffer::num_slots()];
@@ -1831,6 +1928,8 @@ class ShardedSet {
         nm->upper[i] = width_ * (i + 1) - 1;
       }
       nm->upper[NumShards - 1] = kMaxUserKey;
+      // relaxed: single-threaded contract (see above); the release store
+      // below publishes the table to the first concurrent reader.
       nm->flip_epoch.store(1, std::memory_order_relaxed);
       const ShardMap* old = map_.load(std::memory_order_relaxed);
       map_.store(nm, std::memory_order_release);
@@ -1868,15 +1967,17 @@ class ShardedSet {
     // updates: read-mostly mixes keep it shared across readers.
     Padded<std::atomic<std::uint64_t>> update_seq{{0}};
   };
-  struct NoReadCombining {};
+  struct NoReadCombining {
+    [[no_unique_address]] UnusedCapability buffer;
+  };
   [[no_unique_address]] mutable std::conditional_t<
       RPath == ReadPath::kCombined, ReadCombining, NoReadCombining>
       rc_;
-  // The current boundary table (Adaptive; null otherwise).  Swapped only
-  // by the migrator holding mig_.active; loaded under an EBR guard by
-  // everyone else (replaced tables are EBR-retired).  Mutable for the
-  // same reason as epoch_: const composite queries help-stamp flip_epoch
-  // through it.
+  // shared: the current boundary table (Adaptive; null otherwise).
+  // Swapped only by the migrator holding mig_.gate; loaded under an EBR
+  // guard by everyone else (replaced tables are EBR-retired).  Mutable
+  // for the same reason as epoch_: const composite queries help-stamp
+  // flip_epoch through it.  Read-mostly; a flip rewrites the line anyway.
   mutable std::atomic<const ShardMap*> map_{nullptr};
   // Migration descriptor + controller state (Adaptive only; ~64 KiB,
   // dominated by the dirty-key log).

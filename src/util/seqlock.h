@@ -1,0 +1,88 @@
+// A single-word seqlock, factored out of shard/aggregate_cache.h so the
+// write side can be a Thread Safety Analysis capability: publishing without
+// first claiming the writer token (try_write) is a compile error under
+// -DCBAT_THREAD_SAFETY=ON.
+//
+// Protocol (even = stable, odd = writer in flight):
+//
+//   writer:  try_write()  — relaxed CAS seq -> seq|1, then a release fence;
+//                           on success the caller owns the entry and stores
+//                           the payload with relaxed atomic stores
+//            end_write()  — release-store seq+1 (back to even), publishing
+//                           the payload
+//
+//   reader:  s = read_begin()           — acquire load
+//            if (!is_stable(s)) miss    — writer in flight
+//            ... relaxed payload loads ...
+//            if (!read_validate(s)) miss — acquire fence + relaxed re-check
+//
+// The payload itself stays in the client and is deliberately NOT
+// CBAT_GUARDED_BY the seqlock: readers access it *racily* and then validate,
+// which is the whole point of the protocol.  Payload fields must be atomics
+// (relaxed is enough; the fences above order them) so the racy reads are not
+// UB.  Only the write side is a capability.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "util/thread_annotations.h"
+
+namespace cbat {
+
+class CBAT_CAPABILITY("seqlock") Seqlock {
+ public:
+  // ---- reader side ----
+
+  // First half of an optimistic read; pair with read_validate().
+  std::uint64_t read_begin() const {
+    return seq_.load(std::memory_order_acquire);
+  }
+
+  static constexpr bool is_stable(std::uint64_t s) { return (s & 1) == 0; }
+
+  // True iff no writer intervened since read_begin() returned s1.  The
+  // acquire fence orders the caller's relaxed payload loads before the
+  // re-check.
+  bool read_validate(std::uint64_t s1) const {
+    std::atomic_thread_fence(std::memory_order_acquire);
+    // relaxed: the fence above provides the ordering; this load only has to
+    // observe a value, any later write changes it and fails the compare.
+    return seq_.load(std::memory_order_relaxed) == s1;
+  }
+
+  // ---- writer side ----
+
+  // Claims the writer token (seq -> odd).  Fails if a writer is already in
+  // flight or the CAS is contended; callers treat failure as "someone else
+  // is publishing, skip".  On success the trailing release fence orders the
+  // caller's subsequent relaxed payload stores after the claim.
+  bool try_write() CBAT_TRY_ACQUIRE(true) {
+    // relaxed: claim visibility is carried by the fence below and by
+    // end_write()'s release store; the CAS only needs atomicity.
+    std::uint64_t s = seq_.load(std::memory_order_relaxed);
+    if (!is_stable(s)) return false;
+    if (!seq_.compare_exchange_strong(s, s + 1, std::memory_order_relaxed)) {
+      return false;
+    }
+    std::atomic_thread_fence(std::memory_order_release);
+    return true;
+  }
+
+  // Publishes: seq back to even with a release store.  Caller must hold the
+  // writer token (enforced by TSA).
+  void end_write() CBAT_RELEASE() {
+    // relaxed: reads back our own claim (only the token holder reaches
+    // here), so coherence alone suffices.
+    const std::uint64_t s = seq_.load(std::memory_order_relaxed);
+    seq_.store(s + 1, std::memory_order_release);
+  }
+
+ private:
+  // shared: the sequence word deliberately shares its line with the
+  // payload it versions — the reader wants both in one cache fill (see
+  // the packed-row note in aggregate_cache.h).
+  std::atomic<std::uint64_t> seq_{0};
+};
+
+}  // namespace cbat

@@ -1,0 +1,89 @@
+// Clang Thread Safety Analysis attribute macros.
+//
+// Wraps the `thread_safety` attribute family so annotations compile away on
+// non-clang compilers (GCC builds see empty macros and pay nothing).  Under
+// clang with -Wthread-safety (-DCBAT_THREAD_SAFETY=ON adds
+// -Werror=thread-safety) the analysis statically checks that:
+//
+//   * functions annotated CBAT_REQUIRES(cap) are only called while `cap`
+//     is held,
+//   * CBAT_ACQUIRE/CBAT_RELEASE pairs balance along every control path,
+//   * data annotated CBAT_GUARDED_BY(mu) is only touched under `mu`.
+//
+// The repo's central use is the EBR-guard capability (see reclamation/ebr.h):
+// every function that dereferences a raw `Version*` is
+// CBAT_REQUIRES(ebr_capability), so guardless traversal is a compile error.
+//
+// Analysis caveats the annotations in this repo are written around:
+//   * TSA is intraprocedural; annotated primitives are trusted (an ACQUIRE
+//     function's body need not visibly acquire anything).
+//   * Scoped capabilities are tracked for named local variables, not for
+//     member subobjects — classes holding a guard member assert the
+//     capability instead (see ebr_assert_held()).
+//   * A function that releases a held capability mid-body must be annotated
+//     RELEASE, not REQUIRES (REQUIRES expects the capability still held at
+//     exit).
+#pragma once
+
+#if defined(__clang__) && (!defined(SWIG))
+#define CBAT_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define CBAT_THREAD_ANNOTATION_(x)  // no-op off clang
+#endif
+
+// Class annotations ---------------------------------------------------------
+
+// Marks a class as a capability (lock-like object) named `x` in diagnostics.
+#define CBAT_CAPABILITY(x) CBAT_THREAD_ANNOTATION_(capability(x))
+
+// Marks an RAII class whose constructor acquires and destructor releases a
+// capability (std::lock_guard shape).
+#define CBAT_SCOPED_CAPABILITY CBAT_THREAD_ANNOTATION_(scoped_lockable)
+
+// Data annotations ----------------------------------------------------------
+
+// Data member may only be accessed while holding the given capability.
+#define CBAT_GUARDED_BY(x) CBAT_THREAD_ANNOTATION_(guarded_by(x))
+
+// Pointer member: the *pointee* may only be accessed while holding `x`.
+#define CBAT_PT_GUARDED_BY(x) CBAT_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+// Function annotations ------------------------------------------------------
+
+// Caller must hold the capability; the function does not release it.
+#define CBAT_REQUIRES(...) \
+  CBAT_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+// Caller must hold the capability in shared (reader) mode.
+#define CBAT_REQUIRES_SHARED(...) \
+  CBAT_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+// Function acquires the capability (caller must not already hold it).
+#define CBAT_ACQUIRE(...) \
+  CBAT_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+// Function releases the capability (caller must hold it).
+#define CBAT_RELEASE(...) \
+  CBAT_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+// Function attempts the acquisition; holds it iff the return value equals
+// the first argument.
+#define CBAT_TRY_ACQUIRE(...) \
+  CBAT_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+// Caller must NOT hold the capability (deadlock / re-entrancy guard).
+#define CBAT_EXCLUDES(...) CBAT_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+// Asserts (without runtime effect here) that the capability is held; used
+// where a guard is provably held through a member object or a protocol that
+// TSA cannot see.  Every call site carries a `// guard:` comment saying why.
+#define CBAT_ASSERT_CAPABILITY(x) \
+  CBAT_THREAD_ANNOTATION_(assert_capability(x))
+
+// Function returns a reference to the capability guarding its result.
+#define CBAT_RETURN_CAPABILITY(x) CBAT_THREAD_ANNOTATION_(lock_returned(x))
+
+// Opts a function out of the analysis entirely (deliberate protocol
+// violations in tests, e.g. probing that a held try-lock fails).
+#define CBAT_NO_THREAD_SAFETY_ANALYSIS \
+  CBAT_THREAD_ANNOTATION_(no_thread_safety_analysis)

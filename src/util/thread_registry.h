@@ -30,6 +30,8 @@ class ThreadRegistry {
   int acquire();
   void release(int id);
 
+  // shared: touched once per thread lifetime (acquire/release of a
+  // slot); false sharing on this cold path is irrelevant.
   std::atomic<bool> used_[kMaxThreads] = {};
   std::atomic<int> high_water_{0};
 };

@@ -43,6 +43,8 @@ class VersionedPtr {
 
   struct VNode {
     T* val;
+    // shared: per-version words; version chains are numerous and small,
+    // so padding would multiply memory, not reduce contention.
     std::atomic<std::uint64_t> ts;
     std::atomic<VNode*> next;
   };
@@ -51,11 +53,13 @@ class VersionedPtr {
 
   // Not thread-safe; call before publishing the owning object.
   void init(T* v) {
+    // relaxed: pre-publication store per the contract above.
     head_.store(pool_new<VNode>(v, VcasClock::now(), nullptr),
                 std::memory_order_relaxed);
   }
 
   ~VersionedPtr() {
+    // relaxed: destructor runs at quiescence; no concurrent access.
     VNode* n = head_.load(std::memory_order_relaxed);
     while (n != nullptr) {
       VNode* next = n->next.load(std::memory_order_relaxed);
@@ -140,6 +144,8 @@ class VersionedPtr {
     trunc_busy_.store(false, std::memory_order_release);
   }
 
+  // shared: head_ rides in the owning node (per-node tradeoff);
+  // trunc_busy_ is a rarely-contended single-writer election flag.
   std::atomic<VNode*> head_;
   std::atomic<bool> trunc_busy_{false};
 };

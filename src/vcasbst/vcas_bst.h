@@ -45,6 +45,7 @@ class VcasBst {
   struct VbNode {
     Key key;
     bool leaf;
+    // shared: per-node word; see the padding tradeoff note in node.h.
     std::atomic<std::uintptr_t> update{0};
     VersionedPtr<VbNode> child[2];
 

@@ -16,6 +16,7 @@
 #include "core/version_queries.h"
 #include "shard/sharded_set.h"
 #include "util/counters.h"
+#include "util/thread_annotations.h"
 #include "util/random.h"
 
 namespace cbat {
@@ -43,10 +44,22 @@ class CombiningTest : public ::testing::Test {
 
 // --- CombiningBuffer slot protocol (single-threaded state machine) --------
 
+// Probes that a held election lock refuses a second claim — a deliberate
+// protocol violation, so it opts out of TSA (re-claiming from the holding
+// thread is exactly what the analysis forbids).
+template <int N>
+bool relock_fails(CombiningBuffer<N>& buf) CBAT_NO_THREAD_SAFETY_ANALYSIS {
+  return !buf.try_lock();
+}
+
+// The lock acquisitions below use `if (!try_lock()) FAIL()` instead of
+// ASSERT_TRUE: gtest wraps the condition in an AssertionResult temporary,
+// which hides the try-acquire branch from TSA.
+
 TEST_F(CombiningTest, BufferPublishDrainCompleteRoundTrip) {
   CombiningBuffer<8> buf;
-  ASSERT_TRUE(buf.try_lock());
-  ASSERT_FALSE(buf.try_lock()) << "the lock must be exclusive";
+  if (!buf.try_lock()) FAIL() << "a fresh buffer's lock must be free";
+  EXPECT_TRUE(relock_fails(buf)) << "the lock must be exclusive";
 
   const int s0 = buf.publish(42, /*is_insert=*/true);
   const int s1 = buf.publish(7, /*is_insert=*/false);
@@ -78,7 +91,7 @@ TEST_F(CombiningTest, BufferPublishDrainCompleteRoundTrip) {
   EXPECT_FALSE(buf.take_result(s1));
   EXPECT_EQ(buf.slot_state(s0), CombiningBuffer<8>::kEmpty);
   buf.unlock();
-  ASSERT_TRUE(buf.try_lock());
+  if (!buf.try_lock()) FAIL() << "unlock must free the lock";
   buf.unlock();
 }
 
@@ -94,7 +107,7 @@ TEST_F(CombiningTest, BufferRetractBeforeDrainAndFullBuffer) {
   EXPECT_GE(buf.publish(3, true), 0) << "retracted slot is reusable";
   // Clean up the pending slots so the buffer is quiescent.
   CombiningBuffer<2>::DrainedRequest reqs[2];
-  ASSERT_TRUE(buf.try_lock());
+  if (!buf.try_lock()) FAIL() << "the election lock must be free";
   const int n = buf.drain(reqs, 2);
   ASSERT_EQ(n, 2);
   for (int i = 0; i < n; ++i) buf.complete(reqs[i].slot, false);

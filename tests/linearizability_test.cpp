@@ -529,6 +529,7 @@ TEST(StaleAggregateCache, ConcurrentCachedReadsLinearize) {
         }
         ASSERT_TRUE(ok) << "population " << obs << " not reachable in ["
                         << inv << ", " << resp << "]";
+        // relaxed: statistics counter, read after join().
         checked.fetch_add(1, std::memory_order_relaxed);
       } while (!stop.load(std::memory_order_acquire));
     });

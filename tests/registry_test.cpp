@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
 #include <set>
 
 #include "api/ordered_set.h"
@@ -320,6 +321,49 @@ TEST(Registry, ConfigureReportsExactlyWhatItApplied) {
   mixed.adaptive_rebalance = true;
   EXPECT_FALSE(reg.create("Sharded16-BAT")->configure(mixed));
   EXPECT_TRUE(reg.create("Sharded16-Combined-BAT-Adapt")->configure(mixed));
+}
+
+TEST(Registry, ConfigureRejectsMalformedKnobs) {
+  auto& reg = StructureRegistry::instance();
+  const int saved_batch = combine_max_batch();
+
+  // combine_max_batch: 1 legitimately disables combining, but zero and
+  // negative batches are malformed and must leave the knob untouched.
+  for (const int bad : {0, -1, -64}) {
+    api::SetOptions o;
+    o.combine_max_batch = bad;
+    EXPECT_FALSE(reg.create("Sharded16-Combined-BAT")->configure(o))
+        << "batch " << bad << " must be refused";
+    EXPECT_EQ(combine_max_batch(), saved_batch)
+        << "a refused batch must not be applied";
+  }
+
+  // hot_factor: the policy compares rates against hot_factor * mean, so
+  // non-finite values and factors <= 1.0 are refused even by structures
+  // that have the setter.
+  for (const double bad :
+       {0.5, 1.0, -2.0, std::numeric_limits<double>::quiet_NaN(),
+        std::numeric_limits<double>::infinity()}) {
+    api::SetOptions o;
+    o.rebalance_hot_factor = bad;
+    EXPECT_FALSE(reg.create("Sharded16-Combined-BAT-Adapt")->configure(o))
+        << "hot_factor " << bad << " must be refused";
+  }
+
+  // check_period: zero would run the policy on every update.
+  api::SetOptions zero_period;
+  zero_period.rebalance_check_period = 0;
+  EXPECT_FALSE(
+      reg.create("Sharded16-Combined-BAT-Adapt")->configure(zero_period));
+
+  // The boundary values just past malformed still apply cleanly.
+  api::SetOptions good;
+  good.combine_max_batch = 1;  // "disable combining" is a valid request
+  good.rebalance_hot_factor = 1.5;
+  good.rebalance_check_period = 1;
+  EXPECT_TRUE(reg.create("Sharded16-Combined-BAT-Adapt")->configure(good));
+  EXPECT_EQ(combine_max_batch(), 1);
+  set_combine_max_batch(saved_batch);
 }
 
 TEST(Registry, ConfigureDrivesTheProcessWideKnobs) {

@@ -1,0 +1,15 @@
+// Negative-compile TU: the use-after-unpin bug the EbrGuard capability
+// exists to catch.  The guard is scoped to the inner block, so by the time
+// the query runs the epoch is released and the version tree may already be
+// reclaimed.  clang -Werror=thread-safety must reject the call with
+// "requires holding ... 'ebr_capability'".
+#include "core/augmentations.h"
+#include "core/version_queries.h"
+#include "reclamation/ebr.h"
+
+std::int64_t dropped_guard_size(const cbat::Version<cbat::SizeAug>* root) {
+  {
+    cbat::EbrGuard g;  // pins an epoch... until the brace below
+  }
+  return cbat::version_size(root);  // guard already gone
+}

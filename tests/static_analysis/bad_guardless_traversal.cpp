@@ -1,0 +1,14 @@
+// Negative-compile TU: traversing raw Version pointers without holding the
+// EBR capability.  Every version_* query is CBAT_REQUIRES(ebr_capability);
+// with no EbrGuard in scope, clang -Werror=thread-safety must reject this
+// with "requires holding ... 'ebr_capability'".  The ctest harness compiles
+// this file and asserts the diagnostic fires — if it ever compiles clean,
+// the guard protocol has silently lost its static teeth.
+#include "core/augmentations.h"
+#include "core/version_queries.h"
+
+bool guardless_contains(const cbat::Version<cbat::SizeAug>* root,
+                        cbat::Key k) {
+  // No EbrGuard: `root` may be reclaimed mid-walk.
+  return cbat::version_contains(root, k);
+}

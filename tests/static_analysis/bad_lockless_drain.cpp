@@ -1,0 +1,11 @@
+// Negative-compile TU: draining a combining buffer without first winning
+// the combiner election (try_lock).  drain() is CBAT_REQUIRES(this); with
+// no lock held, clang -Werror=thread-safety must reject this with
+// "requires holding ... exclusively".  A lockless drain would race the
+// winning combiner and hand the same request to two appliers.
+#include "combine/combining_buffer.h"
+
+int lockless_drain(cbat::CombiningBuffer<8>& buf) {
+  cbat::CombiningBuffer<8>::DrainedRequest reqs[8];
+  return buf.drain(reqs, 8);
+}

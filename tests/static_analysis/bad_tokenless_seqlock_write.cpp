@@ -1,0 +1,15 @@
+// Negative-compile TU: publishing through a seqlock without holding the
+// writer token.  end_write() is CBAT_RELEASE(); releasing a capability that
+// was never acquired must be rejected by clang -Werror=thread-safety with
+// "releasing ... that was not held".  A tokenless end_write flips the
+// sequence word to odd and wedges every future reader into miss loops.
+#include <atomic>
+#include <cstdint>
+
+#include "util/seqlock.h"
+
+void tokenless_publish(cbat::Seqlock& seq,
+                       std::atomic<std::uint64_t>& payload) {
+  payload.store(42, std::memory_order_relaxed);
+  seq.end_write();  // never called try_write()
+}

@@ -1,0 +1,8 @@
+// Lint fixture: memory_order_consume is forbidden outright (no escape
+// comment exists for this rule).  Must trip [no-consume].
+#pragma once
+#include <atomic>
+
+inline int* load_ptr(std::atomic<int*>& p) {
+  return p.load(std::memory_order_consume);
+}

@@ -1,0 +1,10 @@
+// Lint fixture: volatile used as a (non-)synchronization primitive with
+// no optimizer-barrier justification comment.  Must trip [no-volatile].
+#pragma once
+
+inline volatile int g_flag = 0;
+
+inline void spin_wait() {
+  while (g_flag == 0) {
+  }
+}

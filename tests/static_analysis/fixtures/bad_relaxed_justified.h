@@ -1,0 +1,10 @@
+// Lint fixture: a memory_order_relaxed site with no justification
+// comment anywhere in the window.  Must trip [relaxed-justified].
+// (The justification token itself must not appear in this file outside
+// the site, or the window check would be satisfied by accident.)
+#pragma once
+#include <atomic>
+
+inline int load_counter(std::atomic<int>& c) {
+  return c.load(std::memory_order_relaxed);
+}

@@ -1,0 +1,16 @@
+// Lint fixture: a retire() call in a file that is not reclamation-aware
+// (not under src/reclamation/, not in RETIRE_ALLOWLIST).  Must trip
+// [retire-scoped].
+#pragma once
+
+namespace cbat_fixture {
+struct Node;
+void retire_node(Node* n);
+
+inline void unlink(Node* n) { retire_node(n); }
+
+template <class Ebr, class T>
+void drop(Ebr& ebr, T* p) {
+  ebr.retire(p);
+}
+}  // namespace cbat_fixture

@@ -1,0 +1,10 @@
+// Lint fixture: a header-declared atomic data member with no padding
+// wrapper and no false-sharing justification comment.  Must trip
+// [shared-atomics-padded].
+#pragma once
+#include <atomic>
+#include <cstdint>
+
+struct HotCounters {
+  std::atomic<std::uint64_t> hits{0};
+};

@@ -1,0 +1,27 @@
+// Lint fixture: the compliant counterpart of the bad_* files — every
+// rule's escape hatch used correctly.  Must pass clean.
+#pragma once
+#include <atomic>
+#include <cstdint>
+
+// relaxed: statistics counter; lost ordering is harmless noise.
+inline int load_counter(std::atomic<int>& c) {
+  return c.load(std::memory_order_relaxed);
+}
+
+template <class T>
+inline void do_not_optimize(const T& v) {
+  // volatile: deliberate optimizer barrier; never read, never raced.
+  static volatile const void* sink;
+  sink = &v;
+}
+
+struct PaddedCounters {
+  // The wrapper earns the pass: one counter per destination cache line.
+  alignas(64) std::atomic<std::uint64_t> hits{0};
+};
+
+struct JustifiedCounters {
+  // shared: read-mostly knob; padding a cold word buys nothing.
+  std::atomic<std::uint64_t> config{0};
+};

@@ -1,0 +1,10 @@
+// Lint fixture: ordinary concurrency-free code — nothing for any rule to
+// object to.  Must pass clean.  Also demonstrates the rules are scoped:
+// acquire/release orderings need no justification comment.
+#include <atomic>
+
+int acquire_release_roundtrip() {
+  std::atomic<int> x{0};
+  x.store(1, std::memory_order_release);
+  return x.load(std::memory_order_acquire);
+}

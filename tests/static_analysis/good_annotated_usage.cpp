@@ -1,0 +1,33 @@
+// Positive control for the negative-compile suite: the same operations as
+// the bad_* TUs, written against protocol.  This file must compile CLEAN
+// under clang -Werror=thread-safety — if it fails, the annotations are
+// over-constraining legitimate use and the bad_* diagnostics prove nothing.
+#include <atomic>
+#include <cstdint>
+
+#include "combine/combining_buffer.h"
+#include "core/augmentations.h"
+#include "core/version_queries.h"
+#include "reclamation/ebr.h"
+#include "util/seqlock.h"
+
+bool guarded_contains(const cbat::Version<cbat::SizeAug>* root, cbat::Key k) {
+  cbat::EbrGuard g;  // named local: TSA tracks the scoped capability
+  return cbat::version_contains(root, k);
+}
+
+int elected_drain(cbat::CombiningBuffer<8>& buf) {
+  if (!buf.try_lock()) return 0;  // lost the election: someone else drains
+  cbat::CombiningBuffer<8>::DrainedRequest reqs[8];
+  const int n = buf.drain(reqs, 8);
+  buf.unlock();
+  return n;
+}
+
+bool tokened_publish(cbat::Seqlock& seq,
+                     std::atomic<std::uint64_t>& payload) {
+  if (!seq.try_write()) return false;  // writer in flight: skip
+  payload.store(42, std::memory_order_relaxed);
+  seq.end_write();
+  return true;
+}
