@@ -23,6 +23,11 @@ no pip installs).  Rules:
     reclamation-aware files (src/reclamation/ itself plus the explicit
     allowlist below) — scattering retirement sites is how use-after-free
     protocols rot.
+  * fault-point-unique: every CBAT_FAULT_POINT/CBAT_FAULT_FORCE site
+    name must be unique across the whole repo.  Site names key the
+    fault planner's per-site budgets and only_site filters (and the
+    chaos suite's coverage ledger), so two protocol sites sharing a
+    name silently conflate their injection schedules.
 
 Self-test: `--self-test` runs every rule against the fixture files under
 tests/static_analysis/fixtures/, asserting that each good_* fixture passes
@@ -75,6 +80,10 @@ ATOMIC_DECL_RE = re.compile(
     r"(?:std::)?atomic<")
 ATOMIC_NOT_DECL_RE = re.compile(r"atomic<[^;]*>\s*[&*]")
 RETIRE_RE = re.compile(r"\b(?:ebr_)?retire(?:_impl)?\s*\(")
+# Fault-injection sites (src/util/fault.h).  Only literal-named
+# invocations count: the macro definitions and doc examples use an
+# unquoted `site` placeholder and are not site declarations.
+FAULT_SITE_RE = re.compile(r'CBAT_FAULT_(?:POINT|FORCE)\(\s*"([^"]+)"')
 
 
 def _window_has(lines, i, token):
@@ -84,7 +93,13 @@ def _window_has(lines, i, token):
     return any(token in lines[j] for j in range(lo, i + 1))
 
 
-def lint_file(path, errors):
+def lint_file(path, errors, fault_sites=None):
+    """Lints one file.  `fault_sites` is the site-name ledger for the
+    fault-point-unique rule (name -> first declaration site); the caller
+    shares one dict across the whole sweep so duplicates are caught
+    across files, not just within one."""
+    if fault_sites is None:
+        fault_sites = {}
     with open(path, "r", encoding="utf-8") as f:
         lines = f.read().splitlines()
     rel = path.replace(os.sep, "/")
@@ -124,6 +139,16 @@ def lint_file(path, errors):
                 f"{rel}:{n}: [retire-scoped] retire() outside a "
                 f"reclamation-aware file (extend RETIRE_ALLOWLIST only "
                 f"with a documented protocol)")
+        for site in FAULT_SITE_RE.findall(line):
+            if site in fault_sites:
+                first = fault_sites[site]
+                errors.append(
+                    f"{rel}:{n}: [fault-point-unique] fault site "
+                    f"\"{site}\" already declared at {first} — site "
+                    f"names key per-site budgets and only_site filters, "
+                    f"so every site needs its own name")
+            else:
+                fault_sites[site] = f"{rel}:{n}"
 
 
 def repo_files():
@@ -151,7 +176,9 @@ def self_test():
             continue
         path = os.path.join(fixture_dir, name)
         errors = []
-        lint_file(path, errors)
+        # Fresh site ledger per fixture: the duplicate the bad fixture
+        # plants is in-file, and fixtures must not interfere.
+        lint_file(path, errors, fault_sites={})
         if name.startswith("good_"):
             if errors:
                 failures.append(f"{name}: expected clean, got: {errors}")
@@ -165,7 +192,8 @@ def self_test():
             elif not any(f"[{rule}]" in e for e in errors):
                 failures.append(f"{name}: expected [{rule}], got: {errors}")
     expected_rules = {"relaxed-justified", "no-volatile", "no-consume",
-                      "shared-atomics-padded", "retire-scoped"}
+                      "shared-atomics-padded", "retire-scoped",
+                      "fault-point-unique"}
     for rule in sorted(expected_rules - seen_rules):
         failures.append(f"missing bad_* fixture for rule [{rule}]")
     for f in failures:
@@ -181,11 +209,14 @@ def main(argv):
         return self_test()
     files = argv[1:] or repo_files()
     errors = []
+    # One ledger for the whole sweep: fault-point-unique is a repo-wide
+    # invariant (the site namespace is global), not a per-file one.
+    fault_sites = {}
     for f in files:
         if not os.path.exists(f):
             errors.append(f"{f}: no such file")
             continue
-        lint_file(f, errors)
+        lint_file(f, errors, fault_sites)
     for e in errors:
         print(f"check_concurrency: {e}", file=sys.stderr)
     print(f"check_concurrency: {len(files)} file(s), "

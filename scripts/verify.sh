@@ -8,6 +8,11 @@
 #   scripts/verify.sh --lint         # repo lints only, no build (markdown
 #                                    # hygiene + the concurrency lint and
 #                                    # its fixture self-test)
+#   scripts/verify.sh --chaos        # fault-injection build (the chaos
+#                                    # suite plus the protocol tests it
+#                                    # perturbs, under ASan by default;
+#                                    # CBAT_SANITIZE=thread for the TSan
+#                                    # leg)
 #
 # Environment (used by the CI matrix; all optional):
 #   BUILD_DIR          build tree                       (default: build)
@@ -25,6 +30,26 @@ if [[ "${1:-}" == "--lint" ]]; then
   python3 scripts/check_markdown.py
   python3 scripts/check_concurrency.py
   python3 scripts/check_concurrency.py --self-test
+  exit 0
+fi
+
+if [[ "${1:-}" == "--chaos" ]]; then
+  # Chaos leg: the fault hooks compiled in (-DCBAT_FAULT_INJECTION=ON)
+  # and the suites the injected faults exercise, sanitized.  The rollback
+  # and allocation-failure paths only exist when faults can fire, so this
+  # is the only build in which ASan/TSan ever see them.
+  BUILD_DIR="${BUILD_DIR:-build-chaos}"
+  CBAT_SANITIZE="${CBAT_SANITIZE:-address,undefined}"
+  CMAKE_ARGS=(-DCBAT_FAULT_INJECTION=ON -DCBAT_SANITIZE="$CBAT_SANITIZE")
+  if [[ -n "${CMAKE_BUILD_TYPE:-}" ]]; then
+    CMAKE_ARGS+=(-DCMAKE_BUILD_TYPE="$CMAKE_BUILD_TYPE")
+  fi
+  cmake -B "$BUILD_DIR" -S . "${CMAKE_ARGS[@]}"
+  cmake --build "$BUILD_DIR" -j
+  ctest --test-dir "$BUILD_DIR" --output-on-failure --no-tests=error \
+    -j "$(nproc)" -R 'fault_injection|sharded_set|combining|ebr'
+  python3 scripts/check_markdown.py
+  python3 scripts/check_concurrency.py
   exit 0
 fi
 

@@ -128,6 +128,11 @@ struct SetOptions {
   std::optional<bool> lease_reads;
   // Epoch-stamped per-shard aggregate caches.  Process-wide.
   std::optional<bool> aggregate_cache;
+  // EBR limbo-pressure guardrail: when a thread's unreclaimed limbo bags
+  // hold at least this many objects, its next retire forces an epoch
+  // advance + sweep and counts an ebr_pressure_events.  0 disables the
+  // guardrail; negative is malformed (rejected).  Process-wide.
+  std::optional<std::int64_t> ebr_limbo_high_water;
   // Online hot-shard rebalancing ("-Adapt" forests only).  Per instance.
   std::optional<bool> adaptive_rebalance;
   // A shard migrates when its update rate exceeds this multiple (> 1) of

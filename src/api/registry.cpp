@@ -11,6 +11,7 @@
 #include "core/bat_tree.h"
 #include "shard/aggregate_cache.h"
 #include "frbst/frbst.h"
+#include "reclamation/ebr.h"
 #include "shard/sharded_set.h"
 #include "vcasbst/vcas_bst.h"
 
@@ -187,6 +188,15 @@ bool AbstractOrderedSet::configure(const SetOptions& o) {
   }
   if (o.lease_reads.has_value()) set_lease_reads(*o.lease_reads);
   if (o.aggregate_cache.has_value()) set_aggregate_cache(*o.aggregate_cache);
+  if (o.ebr_limbo_high_water.has_value()) {
+    // 0 means "guardrail off"; a negative mark is malformed (no limbo
+    // population can be below zero, so it would arm a dead trigger).
+    if (*o.ebr_limbo_high_water < 0) {
+      ok = false;
+    } else {
+      set_ebr_limbo_high_water(*o.ebr_limbo_high_water);
+    }
+  }
   // The rebalancing fields need a structure with the matching setters;
   // SetModel's override applies them before delegating here.
   if (o.adaptive_rebalance.has_value() || o.rebalance_hot_factor.has_value() ||

@@ -723,10 +723,13 @@ void run_combine_sweep(ScenarioContext& ctx) {
           RunRecord& rec =
               add_run(*ctx.out, table, "update_pct", x, series,
                       std::move(best));
+          const double retract_backoffs = static_cast<double>(
+              best_counters[Counter::kCombineRetractBackoffs]);
           rec.metrics = {{"batch_occupancy", occupancy},
                          {"combine_solo_pct", solo_pct},
                          {"combine_batches", batches},
-                         {"combine_timeouts", timeouts}};
+                         {"combine_timeouts", timeouts},
+                         {"combine_retract_backoffs", retract_backoffs}};
           ctx.out->add_cell(table, "update_pct", x, series,
                             fmt_throughput(rec.result.throughput()));
           std::fprintf(stderr,
@@ -1100,10 +1103,13 @@ void run_rebalance(ScenarioContext& ctx) {
         const double imb_n = static_cast<double>(
             best_counters[Counter::kShardImbalanceSamples]);
         const double imbalance = imb_n > 0 ? imb_sum / 1000.0 / imb_n : 0.0;
+        const double aborts = static_cast<double>(
+            best_counters[Counter::kShardMigrationAborts]);
         rec.metrics = {{"migrations", migrations},
                        {"migrated_keys", moved},
                        {"double_routes", routes},
-                       {"shard_imbalance", imbalance}};
+                       {"shard_imbalance", imbalance},
+                       {"migration_aborts", aborts}};
         std::fprintf(stderr,
                      "  [%s theta=%s] %.3f Mop/s, %g migrations, "
                      "%g keys moved, imbalance %.1fx\n",

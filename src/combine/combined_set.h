@@ -50,6 +50,7 @@
 #include "shard/sharded_set.h"
 #include "util/backoff.h"
 #include "util/counters.h"
+#include "util/fault.h"
 
 namespace cbat {
 
@@ -207,17 +208,32 @@ class CombinedSet {
     // Fast path: free lock — combine inline, own request rides in the
     // batch without touching a slot.
     if (buffer_.try_lock()) {
-      return run_combiner(k, is_insert, max_batch);  // unlocks internally
+      // Combiner-fault drill: a combiner that dies right after election
+      // must release the lock BEFORE claiming any slot — lock inheritance
+      // (the kPending + try_lock branch below) then drains the buffer, so
+      // no waiter is stranded.  The faulted thread falls through to the
+      // publish path like any non-elected thread.
+      if (!CBAT_FAULT_FORCE("combine.elected")) {
+        return run_combiner(k, is_insert, max_batch);  // unlocks internally
+      }
+      buffer_.unlock();
     }
 
     const int slot = buffer_.publish(k, is_insert);
     if (slot < 0) return solo(k, is_insert);  // buffer full: shed load
 
     std::uint64_t spins = 0;
+    std::uint64_t pauses = 0;
+    Backoff bo;
     bool may_time_out = true;
     while (true) {
       const auto st = buffer_.slot_state(slot);
-      if (st == Buffer::kDone) return buffer_.take_result(slot);
+      if (st == Buffer::kDone) {
+        if (pauses != 0) {
+          Counters::bump(Counter::kCombineRetractBackoffs, pauses);
+        }
+        return buffer_.take_result(slot);
+      }
       if (st == Buffer::kPending && buffer_.try_lock()) {
         // The previous combiner finished without our request: drain the
         // buffer ourselves (our own slot included — the response comes
@@ -225,11 +241,18 @@ class CombinedSet {
         run_combiner_drained_only(max_batch);
         continue;
       }
-      cpu_relax();
-      if ((++spins & 63) == 0) std::this_thread::yield();
-      if (may_time_out && spins > budget) {
+      // Bounded exponential backoff instead of a hot spin on the slot
+      // line; pause() reports its spin count, so the delegation budget
+      // still bounds total wall time before the retract-or-solo fallback.
+      spins += bo.pause();
+      ++pauses;
+      if (may_time_out &&
+          (spins > budget || CBAT_FAULT_FORCE("combine.update_wait"))) {
         if (buffer_.try_retract(slot)) {
           Counters::bump(Counter::kCombineTimeouts);
+          if (pauses != 0) {
+            Counters::bump(Counter::kCombineRetractBackoffs, pauses);
+          }
           return solo(k, is_insert);
         }
         // A combiner claimed the request in the meantime; from here on
@@ -366,26 +389,43 @@ class CombinedSet {
     if (!buffer_.has_pending()) return direct_query(op, a, b);
 
     if (buffer_.try_lock()) {
-      return run_query_combiner(op, a, b, max_batch);  // unlocks internally
+      // Same combiner-fault drill as update(): release before claiming,
+      // fall through to publish (see the comment there).
+      if (!CBAT_FAULT_FORCE("combine.read_elected")) {
+        return run_query_combiner(op, a, b, max_batch);  // unlocks internally
+      }
+      buffer_.unlock();
     }
 
     const int slot = buffer_.publish_read(op, a, b);
     if (slot < 0) return direct_query(op, a, b);  // buffer full: shed load
 
     std::uint64_t spins = 0;
+    std::uint64_t pauses = 0;
+    Backoff bo;
     bool may_time_out = true;
     while (true) {
       const auto st = buffer_.slot_state(slot);
-      if (st == Buffer::kDone) return buffer_.take_read_result(slot);
+      if (st == Buffer::kDone) {
+        if (pauses != 0) {
+          Counters::bump(Counter::kCombineRetractBackoffs, pauses);
+        }
+        return buffer_.take_read_result(slot);
+      }
       if (st == Buffer::kPending && buffer_.try_lock()) {
         run_combiner_drained_only(max_batch);
         continue;
       }
-      cpu_relax();
-      if ((++spins & 63) == 0) std::this_thread::yield();
-      if (may_time_out && spins > budget) {
+      // Bounded exponential backoff; see update() for the budget account.
+      spins += bo.pause();
+      ++pauses;
+      if (may_time_out &&
+          (spins > budget || CBAT_FAULT_FORCE("combine.read_wait"))) {
         if (buffer_.try_retract(slot)) {
           Counters::bump(Counter::kCombineTimeouts);
+          if (pauses != 0) {
+            Counters::bump(Counter::kCombineRetractBackoffs, pauses);
+          }
           return direct_query(op, a, b);
         }
         may_time_out = false;

@@ -62,6 +62,7 @@
 #include <atomic>
 #include <cstdint>
 
+#include "util/fault.h"
 #include "util/keys.h"
 #include "util/padded.h"
 #include "util/thread_annotations.h"
@@ -185,6 +186,7 @@ class CBAT_CAPABILITY("combining buffer") CombiningBuffer {
   // Timeout path: retract an unclaimed request.  False means a combiner
   // already took it — the publisher must keep waiting for kDone.
   bool try_retract(int slot) {
+    CBAT_FAULT_POINT("combine.retract");
     std::uint32_t expected = kPending;
     if (slots_[slot]->state.compare_exchange_strong(
             expected, kEmpty, std::memory_order_acq_rel,
@@ -229,6 +231,7 @@ class CBAT_CAPABILITY("combining buffer") CombiningBuffer {
   // carried on the function (TSA cannot guard a nested-struct member
   // through the enclosing buffer's capability).
   int drain(DrainedRequest* out, int max) CBAT_REQUIRES(this) {
+    CBAT_FAULT_POINT("combine.drain");
     // Uncontended fast path: nothing published, nothing awaiting pickup —
     // skip the O(NumSlots) cache-line sweep that would otherwise tax
     // every solo-speed update.  The count is incremented before a slot
@@ -252,8 +255,14 @@ class CBAT_CAPABILITY("combining buffer") CombiningBuffer {
       std::uint32_t expected = kPending;
       // relaxed: cheap pre-check; the claiming CAS's acquire edge is what
       // hands the payload over.
-      if (s.state.load(std::memory_order_relaxed) == kPending &&
-          s.state.compare_exchange_strong(expected, kTaken,
+      if (s.state.load(std::memory_order_relaxed) != kPending) continue;
+      // Forced claim skip: the request stays kPending, so its publisher is
+      // picked up by a later drain or retracts and runs solo — the protocol
+      // only strands a waiter if a *claimed* (kTaken) slot is abandoned,
+      // which injection therefore never does.
+      if (CBAT_FAULT_FORCE("combine.claim")) continue;
+      // relaxed: failure order — a lost claim publishes nothing.
+      if (s.state.compare_exchange_strong(expected, kTaken,
                                           std::memory_order_acquire,
                                           std::memory_order_relaxed)) {
         out[n++] = {idx, s.op, s.key, s.b, s.is_insert};
@@ -292,6 +301,10 @@ class CBAT_CAPABILITY("combining buffer") CombiningBuffer {
 
  private:
   int publish_request(Op op, Key a, Key b, bool is_insert) {
+    CBAT_FAULT_POINT("combine.publish");
+    // Forced publication failure: identical to the buffer-full return, so
+    // the caller's existing fallback (solo update / direct read) covers it.
+    if (CBAT_FAULT_FORCE("combine.publish_full")) return -1;
     const int start = ThreadRegistry::thread_id() % NumSlots;
     for (int i = 0; i < NumSlots; ++i) {
       Slot& s = *slots_[(start + i) % NumSlots];

@@ -22,6 +22,8 @@
 #include <vector>
 
 #include "reclamation/ebr.h"
+#include "util/backoff.h"
+#include "util/fault.h"
 
 namespace cbat {
 
@@ -37,7 +39,26 @@ class Pool {
       f.slots.pop_back();
       return p;
     }
-    return ::operator new(sizeof(T));
+    // Allocation-failure degradation: transient exhaustion (real, or forced
+    // by a fault plan) retries with exponential backoff instead of letting
+    // bad_alloc unwind mid-protocol — a grace period elapsing usually
+    // refills the free lists via EBR reclamation.  Only a *persistent*
+    // failure (every retry exhausted) surfaces as std::bad_alloc, before
+    // the caller has published anything, so the tree stays consistent.
+    Backoff bo;
+    for (std::uint32_t attempt = 0; attempt < kAllocRetries; ++attempt) {
+      if (!CBAT_FAULT_FORCE("pool.alloc_fail")) {
+        void* p = ::operator new(sizeof(T), std::nothrow);
+        if (p != nullptr) return p;
+      }
+      bo.pause();
+      if (!f.slots.empty()) {  // reclamation refilled us while backing off
+        void* p = f.slots.back();
+        f.slots.pop_back();
+        return p;
+      }
+    }
+    throw std::bad_alloc{};
   }
 
   static void dealloc(void* p) {
@@ -76,6 +97,10 @@ class Pool {
 
  private:
   static constexpr std::size_t kMaxFree = 1 << 16;
+  // Allocation retry cap: must exceed any fault plan's per-site forced
+  // budget (FaultPlan::max_fails_per_site) so an injected exhaustion burst
+  // can never be mistaken for a persistent one.
+  static constexpr std::uint32_t kAllocRetries = 256;
 
   struct FreeList {
     std::vector<void*> slots;

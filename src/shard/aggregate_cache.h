@@ -55,6 +55,7 @@
 #include <cstdint>
 
 #include "core/version.h"
+#include "util/fault.h"
 #include "util/keys.h"
 #include "util/padded.h"
 #include "util/seqlock.h"
@@ -112,6 +113,9 @@ class AggregateCache {
     SizeEntry& e = sizes_->e[s];
     // Another writer filling means ours is best effort: skip.
     if (!e.seq.try_write()) return;
+    // Stretches the odd (write-in-progress) seqlock window: concurrent
+    // readers must keep rejecting the entry for the whole fill.
+    CBAT_FAULT_POINT("cache.fill_size");
     fill_size(e, stamp, v);
     e.seq.end_write();
   }
@@ -139,6 +143,8 @@ class AggregateCache {
                    std::int64_t v) const {
     RangeEntry& e = ranges_[s]->e[range_way(lo, hi)];
     if (!e.seq.try_write()) return;  // best effort: a writer is in place
+    // See store_size: stretch the odd seqlock window.
+    CBAT_FAULT_POINT("cache.fill_range");
     fill_range(e, stamp, lo, hi, v);
     e.seq.end_write();
   }

@@ -109,6 +109,7 @@
 #include "shard/aggregate_cache.h"
 #include "util/backoff.h"
 #include "util/counters.h"
+#include "util/fault.h"
 #include "util/padded.h"
 #include "util/thread_annotations.h"
 
@@ -832,6 +833,18 @@ class ShardedSet {
     mig_.hook.store(h, std::memory_order_release);
   }
 
+  // Test seam for the rollback path: the NEXT migration aborts at pre-flip
+  // boundary `b` (0 = copy phase opened, 1 = bulk copy done, 2 = range
+  // sealed, 3 = log replayed, 4 = immediately before the map flip) and
+  // rolls back; one-shot.  Out-of-range values (e.g. -1) clear the seam.
+  // The CBAT_FAULT_FORCE mig.* sites drive the same path when fault
+  // injection is compiled in.
+  void set_migration_abort_point(int b)
+    requires(Adaptive)
+  {
+    mig_.abort_at.store(b, std::memory_order_seq_cst);
+  }
+
   // Force one boundary move from shard `src` to an ADJACENT `dst` now
   // (tests and benchmarks; the policy path takes the same route).  False
   // when another migration is in flight, the pair is not adjacent, or src
@@ -943,6 +956,12 @@ class ShardedSet {
     // shared: test seam (set_migration_hook); idle in production.
     std::atomic<MigrationHook> hook{nullptr};
     std::atomic<void*> hook_ctx{nullptr};
+    // shared: test seam (set_migration_abort_point) — one-shot boundary
+    // index at which the next migration aborts; -1 idle.  The fault layer
+    // (CBAT_FAULT_FORCE on the mig.* sites) drives the same abort path
+    // without this seam, but the seam keeps the rollback testable in the
+    // default build.
+    std::atomic<int> abort_at{-1};
   };
   // Zero-cost stand-in keeping TSA attribute arguments (mig_.gate,
   // rc_.buffer) well-formed in instantiations that compile the real
@@ -1219,6 +1238,52 @@ class ShardedSet {
     }
   }
 
+  // Consumes a one-shot abort request armed for boundary `b` (see
+  // set_migration_abort_point).
+  bool mig_take_abort(int b)
+    requires(Adaptive)
+  {
+    int want = b;
+    // relaxed: failure order — a non-matching value is left in place and
+    // nothing is published either way; the success edge only hands the
+    // test's token back to the migrator.
+    return mig_.abort_at.compare_exchange_strong(
+        want, -1, std::memory_order_acq_rel, std::memory_order_relaxed);
+  }
+
+  // Rollback from any pre-flip boundary: recover to the legal state "this
+  // migration never happened".  Ordering matters —
+  //
+  //   (a) phase -> kIdle (seq_cst) disarms double-routing (kCopy loggers)
+  //       and releases parked kSeal updaters; both re-route by the OLD
+  //       map, which was never replaced, so src keeps serving the range.
+  //   (b) one quiesce lets every update that saw kCopy/kSeal finish — all
+  //       of them applied to src (pre-flip updates never write dst), so
+  //       after it dst's keys in [cut_lo, cut_hi] are exactly the
+  //       migrator's own copies.
+  //   (c) discard the copy: erase that range from dst.  The erases are
+  //       invisible to queries (every live map excludes the range from
+  //       dst's owned slice) — ASan and the leak checks in
+  //       sharded_set_test verify nothing is stranded.
+  //
+  // Always returns false so migrate() can `return abort_migration(...)`.
+  bool abort_migration(int dst, Key cut_lo, Key cut_hi)
+      CBAT_REQUIRES(mig_.gate)
+    requires(Adaptive)
+  {
+    mig_.phase.store(Migration::kIdle, std::memory_order_seq_cst);
+    mig_quiesce();
+    std::vector<Key> copied;
+    {
+      EbrGuard g;
+      version_collect_range<Aug>(shards_[dst]->root_version_unsafe(), cut_lo,
+                                 cut_hi, &copied, 0);
+    }
+    apply_bulk(dst, copied, /*is_insert=*/false);
+    Counters::bump(Counter::kShardMigrationAborts);
+    return false;
+  }
+
   // One boundary move, start to finish.  Caller holds the migration gate
   // (statically enforced) and no EBR guard.  Numbered comments match
   // docs/ARCHITECTURE.md.
@@ -1270,6 +1335,10 @@ class ShardedSet {
     mig_.phase.store(Migration::kCopy, std::memory_order_seq_cst);
     run_hook(kMigHookCopyBegin);
     mig_quiesce();
+    // Abortable boundary 0 of 4: copy phase open, nothing copied yet.
+    if (mig_take_abort(0) || CBAT_FAULT_FORCE("mig.copy_begin")) {
+      return abort_migration(dst, cut_lo, cut_hi);
+    }
 
     // (2) Bulk copy on a linearizable cut: collect src's range at E0 and
     // insert it into dst.  dst's copies stay invisible until the flip
@@ -1284,6 +1353,11 @@ class ShardedSet {
     }
     apply_bulk(dst, moved, /*is_insert=*/true);
     run_hook(kMigHookCopied);
+    // Abortable boundary 1 of 4: bulk copy sits in dst, invisible (the
+    // pre-flip map keeps the range out of dst's owned slice).
+    if (mig_take_abort(1) || CBAT_FAULT_FORCE("mig.copied")) {
+      return abort_migration(dst, cut_lo, cut_hi);
+    }
 
     // (3) Seal the range.  After the grace period no update is inside
     // the protocol with an un-replayed effect: kIdle-observers finished
@@ -1292,11 +1366,27 @@ class ShardedSet {
     mig_.phase.store(Migration::kSeal, std::memory_order_seq_cst);
     mig_quiesce();
     run_hook(kMigHookSealed);
+    // Abortable boundary 2 of 4: range sealed; the rollback's phase store
+    // releases any parked in-range updaters back to the old map.
+    if (mig_take_abort(2) || CBAT_FAULT_FORCE("mig.sealed")) {
+      return abort_migration(dst, cut_lo, cut_hi);
+    }
 
     // (4) Replay the dirty log against src's sealed truth, making dst's
     // copy of the range exact.
     replay_log(src, dst, cut_lo, cut_hi);
     run_hook(kMigHookReplayed);
+    // Abortable boundary 3 of 4: dst's copy is exact, but src still owns
+    // the range; discarding the copy costs only the work done so far.
+    if (mig_take_abort(3) || CBAT_FAULT_FORCE("mig.replayed")) {
+      return abort_migration(dst, cut_lo, cut_hi);
+    }
+    // Abortable boundary 4 of 4: the last instant an abort is possible —
+    // the flip below is the commit point, after which the only legal
+    // direction is forward (steps 6 and 7 are then mandatory cleanup).
+    if (mig_take_abort(4) || CBAT_FAULT_FORCE("mig.flip")) {
+      return abort_migration(dst, cut_lo, cut_hi);
+    }
 
     // (5) Flip: publish the new boundary table, then finalize its epoch
     // stamp BEFORE retiring the old table — the order resolve_map_epoch's
@@ -1322,12 +1412,17 @@ class ShardedSet {
       ebr_retire(const_cast<ShardMap*>(m));
     }
     run_hook(kMigHookFlipped);
+    // Post-commit perturbation only (no CBAT_FAULT_FORCE): past the flip,
+    // a yield or delay checks that readers and parked updaters tolerate a
+    // slow migrator, but the protocol may no longer abort.
+    CBAT_FAULT_POINT("mig.flipped");
 
     // (6) Open the range: parked updates resume and route by the new map
     // (they read the phase seq_cst, which orders the map store before
     // their map load).
     mig_.phase.store(Migration::kDone, std::memory_order_seq_cst);
     run_hook(kMigHookOpened);
+    CBAT_FAULT_POINT("mig.opened");
 
     // (7) Retire the moved keys' source copies.  No updater can apply a
     // range key to src after the flip (kSeal blocked it, kDone routes it
@@ -1342,6 +1437,7 @@ class ShardedSet {
     apply_bulk(src, stale, /*is_insert=*/false);
     mig_.phase.store(Migration::kIdle, std::memory_order_seq_cst);
     run_hook(kMigHookCleaned);
+    CBAT_FAULT_POINT("mig.cleaned");
 
     Counters::bump(Counter::kShardMigrations);
     Counters::bump(Counter::kShardMigratedKeys, moved.size());
@@ -1520,20 +1616,33 @@ class ShardedSet {
       return direct_read(op, a, b);
     }
     std::uint64_t spins = 0;
+    std::uint64_t pauses = 0;
+    Backoff bo;
     bool may_time_out = true;
     while (true) {
       const auto st = rc_.buffer.slot_state(slot);
-      if (st == RBuffer::kDone) return rc_.buffer.take_read_result(slot);
+      if (st == RBuffer::kDone) {
+        if (pauses != 0) {
+          Counters::bump(Counter::kCombineRetractBackoffs, pauses);
+        }
+        return rc_.buffer.take_read_result(slot);
+      }
       if (st == RBuffer::kPending && rc_.buffer.try_lock()) {
         // The previous combiner's cut closed without our request: drain
         // the buffer ourselves (our own slot included).
         run_read_combiner_drained_only();
         continue;
       }
-      cpu_relax();
-      if ((++spins & 63) == 0) std::this_thread::yield();
-      if (may_time_out && spins > budget) {
+      // Bounded exponential backoff; pause() reports its spin count so the
+      // lease budget still bounds the wait (see CombinedSet::update).
+      spins += bo.pause();
+      ++pauses;
+      if (may_time_out &&
+          (spins > budget || CBAT_FAULT_FORCE("shard.read_wait"))) {
         if (rc_.buffer.try_retract(slot)) {
+          if (pauses != 0) {
+            Counters::bump(Counter::kCombineRetractBackoffs, pauses);
+          }
           return direct_read(op, a, b);
         }
         // A combiner claimed the request; only it may answer now.

@@ -23,12 +23,16 @@ class Backoff {
   explicit Backoff(std::uint32_t max_spins = 1024)
       : limit_(1), max_(max_spins) {}
 
-  void pause() {
+  // Returns the number of relax spins performed so wait loops can charge
+  // backoff cost against a spin budget (e.g. the delegation timeout).
+  std::uint32_t pause() {
+    const std::uint32_t spun = limit_;
     for (std::uint32_t i = 0; i < limit_; ++i) cpu_relax();
     if (limit_ < max_) limit_ *= 2;
     // Give the scheduler a chance once contention persists; essential when
     // threads outnumber cores (our test machines are small).
     if (limit_ >= max_) std::this_thread::yield();
+    return spun;
   }
 
   void reset() { limit_ = 1; }

@@ -55,6 +55,14 @@ enum class Counter : int {
   kShardDoubleRoutes,
   kShardImbalanceSumMilli,
   kShardImbalanceSamples,
+  // Robustness layer (PR 9): backoff pauses taken by combining slot-waiters
+  // (each pause is one exponential step of util/backoff.h, charged against
+  // the delegation budget), EBR limbo bags crossing the high-water mark and
+  // triggering an inline reclaim attempt, and migrations that faulted
+  // before the map flip and rolled back to the old map.
+  kCombineRetractBackoffs,
+  kEbrPressureEvents,
+  kShardMigrationAborts,
   kNumCounters
 };
 

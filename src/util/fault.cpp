@@ -1,0 +1,215 @@
+// Deterministic fault injection (see fault.h for the model and contract).
+//
+// This TU is always part of cbat_core; without -DCBAT_FAULT_INJECTION=ON
+// the header never declares the API and this file compiles to nothing, so
+// the default build carries no injection code at all.
+#include "util/fault.h"
+
+#if defined(CBAT_FAULT_INJECTION) && CBAT_FAULT_INJECTION
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/backoff.h"
+
+namespace cbat {
+namespace {
+
+// splitmix64: the usual 64-bit finalizer; good enough to decorrelate
+// (seed, thread, site) without any cross-thread state.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t fnv1a(const char* s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (; *s != '\0'; ++s) h = (h ^ static_cast<unsigned char>(*s)) * 0x100000001b3ULL;
+  return h;
+}
+
+std::mutex g_mu;  // guards sites_seen() and budgets() below
+
+std::set<std::string>& sites_seen() {
+  static std::set<std::string> s;
+  return s;
+}
+
+struct SiteBudget {
+  std::string name;
+  std::uint32_t forced = 0;
+};
+
+std::vector<SiteBudget>& budgets() {
+  static std::vector<SiteBudget> v;
+  return v;
+}
+
+FaultPlan g_plan;  // written only while disarmed (header contract)
+
+// shared: the armed flag and plan epoch are read on every instrumented
+// operation from all worker threads and written only from the test driver;
+// false sharing between them is irrelevant off the product hot path.
+std::atomic<bool> g_armed{false};
+// shared: see g_armed.
+std::atomic<std::uint64_t> g_epoch{0};
+// shared: statistics totals, read by tests after workers join.
+std::atomic<std::uint64_t> g_injections{0};
+// shared: see g_injections.
+std::atomic<std::uint64_t> g_forced{0};
+
+// Stable small integer per thread: unlike std::thread::id it is assigned in
+// first-use order, so a single-threaded run draws the same per-thread seed
+// on every execution of the same binary.
+std::uint32_t thread_index() {
+  // shared: monotone id source, touched once per thread lifetime.
+  static std::atomic<std::uint32_t> next{0};
+  // relaxed: unique tickets only; no ordering with anything else.
+  thread_local std::uint32_t mine = next.fetch_add(1, std::memory_order_relaxed);
+  return mine;
+}
+
+struct ThreadRng {
+  std::uint64_t epoch = ~0ULL;
+  std::uint64_t state = 0;
+  // Site literals this thread already registered under the current plan
+  // (pointer cache: one slow-path registration per site per thread).
+  std::vector<const char*> registered;
+};
+
+ThreadRng& rng() {
+  thread_local ThreadRng r;
+  return r;
+}
+
+// Draws the next pseudo-random word for a visit to `site`, reseeding when a
+// new plan was armed.  The per-thread stream depends only on (plan seed,
+// thread index), so re-arming the identical plan replays the identical
+// stream; the site hash decorrelates co-located fault points.
+std::uint64_t draw(const char* site) {
+  ThreadRng& r = rng();
+  const std::uint64_t e = g_epoch.load(std::memory_order_acquire);
+  if (r.epoch != e) {
+    r.epoch = e;
+    r.state = mix(g_plan.seed ^ (0x9e3779b97f4a7c15ULL * (thread_index() + 1)));
+    r.registered.clear();
+  }
+  r.state = mix(r.state);
+  return r.state ^ fnv1a(site);
+}
+
+void register_site(const char* site) {
+  ThreadRng& r = rng();
+  if (std::find(r.registered.begin(), r.registered.end(), site) !=
+      r.registered.end()) {
+    return;
+  }
+  r.registered.push_back(site);
+  std::lock_guard<std::mutex> lk(g_mu);
+  sites_seen().insert(site);
+}
+
+bool site_enabled(const char* site) {
+  return g_plan.only_site == nullptr || std::strcmp(g_plan.only_site, site) == 0;
+}
+
+// Consumes one unit of `site`'s forced-failure budget; false once spent.
+bool take_budget(const char* site) {
+  std::lock_guard<std::mutex> lk(g_mu);
+  for (SiteBudget& b : budgets()) {
+    if (b.name == site) {
+      if (b.forced >= g_plan.max_fails_per_site) return false;
+      ++b.forced;
+      return true;
+    }
+  }
+  budgets().push_back(SiteBudget{site, 1});
+  return g_plan.max_fails_per_site > 0;
+}
+
+}  // namespace
+
+void fault_arm(const FaultPlan& plan) {
+  std::lock_guard<std::mutex> lk(g_mu);
+  g_plan = plan;
+  sites_seen().clear();
+  budgets().clear();
+  // relaxed: totals are plain statistics; the epoch/armed stores below
+  // publish the new plan.
+  g_injections.store(0, std::memory_order_relaxed);
+  g_forced.store(0, std::memory_order_relaxed);
+  g_epoch.fetch_add(1, std::memory_order_acq_rel);
+  g_armed.store(true, std::memory_order_release);
+}
+
+void fault_disarm() { g_armed.store(false, std::memory_order_release); }
+
+bool fault_armed() { return g_armed.load(std::memory_order_acquire); }
+
+std::uint64_t fault_injections() {
+  // relaxed: read at quiescence by tests.
+  return g_injections.load(std::memory_order_relaxed);
+}
+
+std::uint64_t fault_forced_failures() {
+  // relaxed: read at quiescence by tests.
+  return g_forced.load(std::memory_order_relaxed);
+}
+
+std::vector<std::string> fault_sites_seen() {
+  std::lock_guard<std::mutex> lk(g_mu);
+  return std::vector<std::string>(sites_seen().begin(), sites_seen().end());
+}
+
+namespace fault_detail {
+
+void point(const char* site) {
+  if (!g_armed.load(std::memory_order_acquire)) return;
+  register_site(site);
+  if (!site_enabled(site)) return;
+  const std::uint64_t r = draw(site);
+  if (g_plan.delay_permil != 0 && (r & 1023u) < g_plan.delay_permil) {
+    // Short bounded spin: long enough to stretch a seqlock window or a
+    // phase boundary past a concurrent reader, short enough to keep the
+    // chaos suite fast.
+    const std::uint32_t spins = 64 + static_cast<std::uint32_t>((r >> 20) & 2047u);
+    for (std::uint32_t i = 0; i < spins; ++i) cpu_relax();
+    // relaxed: statistics only.
+    g_injections.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (g_plan.yield_permil != 0 && ((r >> 10) & 1023u) < g_plan.yield_permil) {
+    std::this_thread::yield();
+    // relaxed: statistics only.
+    g_injections.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+bool should_fail(const char* site) {
+  if (!g_armed.load(std::memory_order_acquire)) return false;
+  register_site(site);
+  if (!site_enabled(site)) return false;
+  if (g_plan.fail_permil == 0) return false;
+  const std::uint64_t r = draw(site);
+  if ((r & 1023u) >= g_plan.fail_permil) return false;
+  if (!take_budget(site)) return false;
+  // relaxed: statistics only.
+  g_injections.fetch_add(1, std::memory_order_relaxed);
+  // relaxed: statistics only.
+  g_forced.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+}  // namespace fault_detail
+
+}  // namespace cbat
+
+#endif  // CBAT_FAULT_INJECTION

@@ -346,6 +346,20 @@ TEST_F(CombiningTest, ConcurrentReadersSeeConsistentSnapshots) {
   EXPECT_EQ(bad.load(), 0);
 }
 
+// ISSUE 9: publication waits back off exponentially instead of pounding
+// the slot's cache line, and the pause tally is observable (the
+// combine_sweep scenario reports it as combine_retract_backoffs).
+TEST_F(CombiningTest, SlotWaitsAreCountedAsRetractBackoffs) {
+  Counters::reset();
+  CombinedBat set;
+  run_quiescent_consistency_harness(set, Key{1} << 10, 4, 15000);
+  const auto c = Counters::snapshot();
+  EXPECT_GT(c[Counter::kCombineBatches], 0u);
+  EXPECT_GT(c[Counter::kCombineRetractBackoffs], 0u)
+      << "contended publications must record their backoff pauses";
+  Counters::reset();
+}
+
 // --- delegation-timeout boundaries ----------------------------------------
 
 TEST_F(CombiningTest, ZeroTimeoutMeansAlwaysSoloAndStaysCorrect) {

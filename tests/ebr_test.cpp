@@ -7,6 +7,7 @@
 
 #include "reclamation/descriptor.h"
 #include "reclamation/ebr.h"
+#include "util/counters.h"
 
 namespace cbat {
 namespace {
@@ -67,6 +68,42 @@ TEST(Ebr, GuardDelaysReclamation) {
   reader.join();
   Ebr::drain();
   EXPECT_EQ(g_freed.load(), 5001);
+}
+
+// ISSUE 9: limbo-pressure guardrail.  A reader parked in an old epoch
+// stalls advancement, so limbo bags grow; once a thread's local bags
+// cross the high-water mark, each further retire must register a
+// pressure event and force an advance attempt instead of growing limbo
+// silently.
+TEST(Ebr, LimboPressureEventsFireWhenReclamationStalls) {
+  g_freed = 0;
+  const std::int64_t saved = ebr_limbo_high_water();
+  set_ebr_limbo_high_water(8);
+
+  std::atomic<bool> pinned{false};
+  std::atomic<bool> release{false};
+  std::thread pinner([&] {
+    EbrGuard g;
+    pinned = true;
+    while (!release.load()) std::this_thread::yield();
+  });
+  while (!pinned.load()) std::this_thread::yield();
+
+  const auto before = Counters::snapshot();
+  for (int i = 0; i < 100; ++i) {
+    EbrGuard g;
+    ebr_retire(new Tracked(0));
+  }
+  const auto after = Counters::snapshot();
+  EXPECT_GT(after[Counter::kEbrPressureEvents],
+            before[Counter::kEbrPressureEvents])
+      << "retires past the mark must register pressure";
+
+  release = true;
+  pinner.join();
+  set_ebr_limbo_high_water(saved);
+  Ebr::drain();
+  EXPECT_EQ(g_freed.load(), 100);
 }
 
 TEST(Ebr, DrainHandlesChainedRetires) {

@@ -12,6 +12,7 @@
 #include "chromatic/chromatic_set.h"
 #include "combine/combining_buffer.h"
 #include "core/bat_tree.h"
+#include "reclamation/ebr.h"
 #include "shard/aggregate_cache.h"
 
 namespace cbat {
@@ -364,6 +365,32 @@ TEST(Registry, ConfigureRejectsMalformedKnobs) {
   EXPECT_TRUE(reg.create("Sharded16-Combined-BAT-Adapt")->configure(good));
   EXPECT_EQ(combine_max_batch(), 1);
   set_combine_max_batch(saved_batch);
+}
+
+// ISSUE 9: the EBR limbo-pressure guardrail rides the same front door.
+// Zero legitimately disables the guardrail; a negative mark is malformed
+// (no limbo population can sit below zero) and must leave the knob alone.
+TEST(Registry, ConfigureEbrLimboHighWater) {
+  auto& reg = StructureRegistry::instance();
+  const std::int64_t saved = ebr_limbo_high_water();
+
+  api::SetOptions neg;
+  neg.ebr_limbo_high_water = -1;
+  EXPECT_FALSE(reg.create("BAT")->configure(neg));
+  EXPECT_EQ(ebr_limbo_high_water(), saved)
+      << "a refused mark must not be applied";
+
+  api::SetOptions apply;
+  apply.ebr_limbo_high_water = 123;
+  EXPECT_TRUE(reg.create("BAT")->configure(apply));
+  EXPECT_EQ(ebr_limbo_high_water(), 123);
+
+  api::SetOptions off;
+  off.ebr_limbo_high_water = 0;
+  EXPECT_TRUE(reg.create("BAT")->configure(off));
+  EXPECT_EQ(ebr_limbo_high_water(), 0);
+
+  set_ebr_limbo_high_water(saved);
 }
 
 TEST(Registry, ConfigureDrivesTheProcessWideKnobs) {

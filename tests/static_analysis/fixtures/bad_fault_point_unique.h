@@ -1,0 +1,18 @@
+// Lint fixture: two fault-injection hooks sharing one site name.  Site
+// names key the fault planner's per-site budgets and only_site filters,
+// so a duplicate silently conflates two protocol sites.  Must trip
+// [fault-point-unique].
+#pragma once
+
+namespace cbat_fixture {
+
+inline void publish_path() {
+  CBAT_FAULT_POINT("fixture.duplicate_site");
+}
+
+inline bool drain_path() {
+  // Reused name: this is a DIFFERENT protocol site and needs its own.
+  return CBAT_FAULT_FORCE("fixture.duplicate_site");
+}
+
+}  // namespace cbat_fixture
